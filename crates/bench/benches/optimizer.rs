@@ -1,0 +1,32 @@
+//! Criterion micro-benchmarks: the perturbation optimizer (problem 3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use prc_core::optimizer::{optimize, NetworkShape, OptimizerConfig};
+use prc_core::query::Accuracy;
+
+fn bench_optimizer(c: &mut Criterion) {
+    let shape = NetworkShape::new(50, 17_568);
+    let accuracy = Accuracy::new(0.08, 0.6).unwrap();
+
+    let mut group = c.benchmark_group("optimize");
+    group.sample_size(30);
+    for &grid in &[50usize, 200, 1_000] {
+        let config = OptimizerConfig {
+            grid_points: grid,
+            ..OptimizerConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("grid", grid), &grid, |b, _| {
+            b.iter(|| {
+                black_box(
+                    optimize(black_box(accuracy), black_box(0.4), shape, &config).unwrap(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimizer);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion micro-benchmarks: the end-to-end broker pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use prc_bench::{build_network, standard_workload};
+use prc_core::broker::DataBroker;
+use prc_core::query::{Accuracy, QueryRequest};
+use prc_data::generator::CityPulseGenerator;
+use prc_data::record::AirQualityIndex;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let dataset = CityPulseGenerator::new(7).generate();
+    let values = dataset.values(AirQualityIndex::Ozone);
+    let workload = standard_workload(&values);
+    let request = QueryRequest::new(workload[2], Accuracy::new(0.08, 0.6).unwrap());
+
+    let mut group = c.benchmark_group("broker");
+    group.sample_size(20);
+
+    // Warm path: samples already collected, answer() only plans + perturbs.
+    let network = build_network(&dataset, AirQualityIndex::Ozone, 7);
+    let mut broker = DataBroker::new(network, 7);
+    broker.answer(&request).unwrap();
+    group.bench_function("answer_warm", |b| {
+        b.iter(|| black_box(broker.answer(black_box(&request)).unwrap()));
+    });
+
+    // Cold path: includes the initial sample collection.
+    group.bench_function("answer_cold", |b| {
+        b.iter(|| {
+            let network = build_network(&dataset, AirQualityIndex::Ozone, 7);
+            let mut broker = DataBroker::new(network, 7);
+            black_box(broker.answer(black_box(&request)).unwrap())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion micro-benchmarks: pricing evaluation and arbitrage search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use prc_pricing::arbitrage::{find_arbitrage, AttackConfig};
+use prc_pricing::functions::{InverseVariancePricing, PricingFunction};
+use prc_pricing::theorem::{check_theorem_4_2, TheoremCheckConfig};
+use prc_pricing::variance::ChebyshevVariance;
+
+fn bench_pricing(c: &mut Criterion) {
+    let model = ChebyshevVariance::new(17_568);
+    let pricing = InverseVariancePricing::new(1e9, model);
+
+    c.bench_function("price_single", |b| {
+        b.iter(|| black_box(pricing.price(black_box(0.05), black_box(0.8))));
+    });
+
+    let mut group = c.benchmark_group("certification");
+    group.sample_size(10);
+    group.bench_function("theorem_check", |b| {
+        b.iter(|| {
+            black_box(check_theorem_4_2(
+                &pricing,
+                &model,
+                &TheoremCheckConfig::default(),
+            ))
+        });
+    });
+    let targets = [(0.05, 0.8), (0.1, 0.5)];
+    let config = AttackConfig {
+        max_bundle_size: 6,
+        candidate_grid: 12,
+        mixed_trials: 16,
+        ..AttackConfig::default()
+    };
+    group.bench_function("arbitrage_search", |b| {
+        b.iter(|| black_box(find_arbitrage(&pricing, &model, &targets, &config)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pricing);
+criterion_main!(benches);

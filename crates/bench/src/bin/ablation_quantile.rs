@@ -1,0 +1,90 @@
+//! Ablation A7: two routes to a private quantile at equal budget —
+//! noisy binary search vs inverting a private histogram's CDF.
+//!
+//! Both are built from the same private range counts; they spend the
+//! budget differently (the search splits ε across its probes, the
+//! histogram across its buckets via parallel composition) and their error
+//! profiles differ. Median absolute error over repeated releases, per
+//! quantile level and budget.
+//!
+//! Run with `cargo run -p prc-bench --release --bin ablation_quantile`.
+
+use prc_bench::{build_network, print_table, standard_dataset, SEED};
+use prc_core::estimator::RankCounting;
+use prc_core::histogram::private_histogram;
+use prc_core::quantile::{private_quantile, QuantileConfig};
+use prc_data::record::AirQualityIndex;
+use prc_data::stats;
+use prc_dp::budget::Epsilon;
+use prc_dp::mechanism::Sensitivity;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let dataset = standard_dataset();
+    let index = AirQualityIndex::Ozone;
+    let values = dataset.values(index);
+    let p = 0.35;
+    let sensitivity = Sensitivity::new(1.0 / p).expect("valid sensitivity");
+    let mut network = build_network(&dataset, index, SEED);
+    network.collect_samples(p);
+    let station = network.station();
+    let reps = 30;
+
+    let mut rows = Vec::new();
+    for &epsilon in &[0.1f64, 0.5, 2.0] {
+        for &q in &[0.25f64, 0.5, 0.9] {
+            let truth = stats::quantile(&values, q).expect("non-empty values");
+
+            // Route A: noisy binary search, ε split over 20 probes.
+            let config = QuantileConfig {
+                domain: (0.0, 200.0),
+                steps: 20,
+                epsilon: Epsilon::new(epsilon).expect("positive"),
+                sensitivity,
+            };
+            let mut rng = StdRng::seed_from_u64(SEED ^ epsilon.to_bits() ^ q.to_bits());
+            let mut search_errors: Vec<f64> = (0..reps)
+                .map(|_| {
+                    let r = private_quantile(&RankCounting, station, q, &config, &mut rng)
+                        .expect("search succeeds");
+                    (r.value - truth).abs()
+                })
+                .collect();
+            search_errors.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+
+            // Route B: 40-bucket private histogram, one ε for the vector
+            // (parallel composition), CDF inversion.
+            let edges: Vec<f64> = (0..=40).map(|i| i as f64 * 5.0).collect();
+            let mut hist_errors: Vec<f64> = (0..reps)
+                .map(|_| {
+                    let h = private_histogram(
+                        &RankCounting,
+                        station,
+                        &edges,
+                        Epsilon::new(epsilon).expect("positive"),
+                        sensitivity,
+                        &mut rng,
+                    )
+                    .expect("histogram succeeds");
+                    (h.quantile(q).expect("positive total") - truth).abs()
+                })
+                .collect();
+            hist_errors.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+
+            rows.push(vec![
+                format!("{epsilon}"),
+                format!("{q}"),
+                format!("{truth:.1}"),
+                format!("{:.2}", search_errors[reps / 2]),
+                format!("{:.2}", hist_errors[reps / 2]),
+            ]);
+        }
+    }
+    print_table(
+        "Ablation A7 — private quantile routes at equal ε (ozone, p=0.35, median |err| over 30 releases)",
+        &["ε", "quantile", "truth", "binary search |err|", "histogram CDF |err|"],
+        &rows,
+    );
+    println!("\nexpected: the histogram amortizes one ε across all buckets (parallel composition)\nand answers every quantile from a single release, so it dominates at small ε; the\nsearch needs no bucketization choice and wins resolution once ε is generous.");
+}

@@ -1,0 +1,70 @@
+//! Ablation A2: sensitivity policy — expected (1/p) vs worst case (n_i).
+//!
+//! §III-B argues that using the worst-case sensitivity `n_i` "will
+//! totally destroy the aggregation utility" and adopts the expectation
+//! `1/p`. This ablation quantifies that choice: for the same accuracy
+//! demands, it compares the Laplace budget ε, the noise scale, and the
+//! measured error under both policies.
+//!
+//! Run with `cargo run -p prc-bench --release --bin ablation_sensitivity`.
+
+use prc_bench::{build_network, print_table, standard_dataset, standard_workload, SEED};
+use prc_core::broker::DataBroker;
+use prc_core::exact::range_count;
+use prc_core::optimizer::{OptimizerConfig, SensitivityPolicy};
+use prc_core::query::{Accuracy, QueryRequest};
+use prc_data::record::AirQualityIndex;
+
+fn main() {
+    let dataset = standard_dataset();
+    let index = AirQualityIndex::Ozone;
+    let values = dataset.values(index);
+    let workload = standard_workload(&values);
+
+    let demands = [(0.05, 0.8), (0.08, 0.6), (0.15, 0.5), (0.3, 0.5)];
+    let mut rows = Vec::new();
+    for &(alpha, delta) in &demands {
+        let accuracy = Accuracy::new(alpha, delta).expect("valid demand");
+        for (label, policy) in [
+            ("expected 1/p", SensitivityPolicy::Expected),
+            ("worst-case n_i", SensitivityPolicy::WorstCase),
+        ] {
+            let network = build_network(&dataset, index, SEED + 7);
+            let mut broker = DataBroker::new(network, SEED + 7);
+            broker.set_optimizer_config(OptimizerConfig {
+                sensitivity: policy,
+                ..OptimizerConfig::default()
+            });
+            let query = workload[2]; // the interquartile range
+            let truth = range_count(&values, query) as f64;
+            match broker.answer(&QueryRequest::new(query, accuracy)) {
+                Ok(answer) => {
+                    rows.push(vec![
+                        format!("({alpha}, {delta})"),
+                        label.to_string(),
+                        format!("{:.4}", answer.plan.epsilon.value()),
+                        format!("{:.4}", answer.plan.effective_epsilon.value()),
+                        format!("{:.1}", answer.plan.noise_scale),
+                        format!("{:.2}%", (answer.value - truth).abs() / truth * 100.0),
+                    ]);
+                }
+                Err(e) => {
+                    rows.push(vec![
+                        format!("({alpha}, {delta})"),
+                        label.to_string(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        format!("{e}"),
+                    ]);
+                }
+            }
+        }
+    }
+    print_table(
+        "Ablation A2 — sensitivity policy impact (ozone, k=50, interquartile query)",
+        &["demand (α, δ)", "policy", "ε", "effective ε′", "noise scale b", "rel err"],
+        &rows,
+    );
+    println!("\nexpected shape: worst-case sensitivity inflates ε (weaker privacy) for the same accuracy —\nthe paper's 1/p choice dominates on both axes");
+}

@@ -1,0 +1,70 @@
+//! Fig. 5 reproduction: querying accuracy vs privacy budget ε (p = 0.4).
+//!
+//! The paper sweeps ε from 0.01 to 8 at sampling probability 0.4 and
+//! plots the relative error of the *private* answer for each of the five
+//! air-quality datasets. Accuracy improves as ε grows (less privacy ⇒
+//! less noise) and flattens at the sampling-error floor; even at ε = 0.1
+//! the relative error stays bounded (the paper reports under 8% across
+//! all five indexes).
+//!
+//! Run with `cargo run -p prc-bench --release --bin fig5`.
+
+use prc_bench::{
+    build_network, geometric_grid, max_scaled_error, print_table, standard_dataset,
+    standard_workload, ErrorScale, SEED,
+};
+use prc_core::broker::DataBroker;
+use prc_core::exact::range_count;
+use prc_dp::budget::Epsilon;
+use prc_data::record::AirQualityIndex;
+
+fn main() {
+    let dataset = standard_dataset();
+    let p = 0.4;
+    let grid = geometric_grid(0.01, 8.0, 13);
+
+    // One broker (hence one fixed sample set) per index: along the ε axis
+    // only the Laplace noise varies, exactly as in the paper's sweep.
+    let mut brokers: Vec<DataBroker> = AirQualityIndex::ALL
+        .iter()
+        .map(|&index| DataBroker::new(build_network(&dataset, index, SEED), SEED))
+        .collect();
+
+    let mut rows = Vec::new();
+    for &eps in &grid {
+        let mut row = vec![format!("{eps:.3}")];
+        for (broker, index) in brokers.iter_mut().zip(AirQualityIndex::ALL) {
+            let values = dataset.values(index);
+            let workload = standard_workload(&values);
+            let epsilon = Epsilon::new(eps).expect("grid is positive");
+            // Average the noisy error over repetitions per query so the
+            // series is readable (the Laplace draw dominates at small ε).
+            let reps = 15;
+            let mut pairs = Vec::new();
+            for &q in &workload {
+                let truth = range_count(&values, q) as f64;
+                let mut err_sum = 0.0;
+                for _ in 0..reps {
+                    let answer = broker
+                        .answer_with_epsilon(q, epsilon, p)
+                        .expect("pipeline answers");
+                    err_sum += (answer.value - truth).abs();
+                }
+                pairs.push((truth + err_sum / reps as f64, truth));
+            }
+            let err = max_scaled_error(&pairs, values.len(), ErrorScale::RelativeToTruth);
+            row.push(format!("{:.2}", err * 100.0));
+        }
+        rows.push(row);
+    }
+    let headers = ["epsilon", "ozone", "PM", "CO", "SO2", "NO2"];
+    print_table(
+        "Fig. 5 — max relative error % vs privacy budget ε (p=0.4, k=50, 5 indexes)",
+        &headers,
+        &rows,
+    );
+    if let Ok(path) = prc_bench::export_csv("fig5", &headers, &rows) {
+        println!("csv: {}", path.display());
+    }
+    println!("\npaper shape: error falls as ε grows, flattens at the sampling floor;\nbounded (≲8%) at ε = 0.1 for all five indexes");
+}

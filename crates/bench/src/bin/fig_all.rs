@@ -1,0 +1,51 @@
+//! Convenience runner: executes every figure and ablation binary in
+//! sequence (in-process, by invoking the sibling executables).
+//!
+//! Run with `cargo run -p prc-bench --release --bin fig_all`.
+
+use std::process::Command;
+
+const BINARIES: [&str; 12] = [
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "ablation_estimators",
+    "ablation_sensitivity",
+    "ablation_pricing",
+    "ablation_sketch",
+    "ablation_composition",
+    "ablation_energy",
+    "ablation_quantile",
+];
+
+fn main() {
+    let own_path = std::env::current_exe().expect("own path is knowable");
+    let bin_dir = own_path.parent().expect("executable lives in a directory");
+    let mut failures = Vec::new();
+    for name in BINARIES {
+        let path = bin_dir.join(name);
+        println!("\n################ {name} ################");
+        match Command::new(&path).status() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                eprintln!("{name} exited with {status}");
+                failures.push(name);
+            }
+            Err(e) => {
+                eprintln!(
+                    "could not run {name} ({e}); build it first with \
+                     `cargo build -p prc-bench --release --bins`"
+                );
+                failures.push(name);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall {} experiments completed", BINARIES.len());
+    } else {
+        eprintln!("\nfailed: {failures:?}");
+        std::process::exit(1);
+    }
+}

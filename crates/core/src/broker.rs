@@ -1,0 +1,443 @@
+//! The data broker (§II-A): the entity that owns sample collection,
+//! estimation, perturbation, and privacy accounting.
+
+use prc_dp::budget::{BudgetAccountant, Epsilon};
+use prc_dp::laplace::Laplace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use prc_net::network::FlatNetwork;
+
+use crate::accuracy::required_probability_clamped;
+use crate::error::CoreError;
+use crate::estimator::{RangeCountEstimator, RankCounting};
+use crate::optimizer::{optimize, NetworkShape, OptimizerConfig, PerturbationPlan};
+use crate::query::{Accuracy, QueryRequest, RangeQuery};
+
+/// How aggressively the broker tops up samples before answering.
+///
+/// The broker aims its sampling at an internal accuracy strictly tighter
+/// than the customer's, leaving the optimizer headroom: it targets
+/// `α′ = alpha_fraction·α` and `δ′ = δ + delta_margin·(1 − δ)`.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SamplingPolicy {
+    /// Fraction of the customer's `α` to aim the sampling stage at, in `(0, 1)`.
+    pub alpha_fraction: f64,
+    /// Fraction of the remaining confidence gap to claim, in `(0, 1)`.
+    pub delta_margin: f64,
+}
+
+impl Default for SamplingPolicy {
+    fn default() -> Self {
+        SamplingPolicy {
+            alpha_fraction: 0.5,
+            delta_margin: 0.5,
+        }
+    }
+}
+
+impl SamplingPolicy {
+    /// The internal accuracy this policy aims sampling at, for a customer
+    /// demand `accuracy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy's fields are outside `(0, 1)`.
+    pub fn internal_target(&self, accuracy: Accuracy) -> Accuracy {
+        assert!(
+            self.alpha_fraction > 0.0 && self.alpha_fraction < 1.0,
+            "alpha_fraction must be in (0, 1)"
+        );
+        assert!(
+            self.delta_margin > 0.0 && self.delta_margin < 1.0,
+            "delta_margin must be in (0, 1)"
+        );
+        let alpha = accuracy.alpha() * self.alpha_fraction;
+        let delta = accuracy.delta() + self.delta_margin * (1.0 - accuracy.delta());
+        Accuracy::new(alpha, delta).expect("scaled accuracy stays in (0,1)")
+    }
+}
+
+/// One differentially private, (α, δ)-approximate answer.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PrivateAnswer {
+    /// The queried range.
+    pub query: RangeQuery,
+    /// The accuracy the customer asked (and pays) for.
+    pub accuracy: Accuracy,
+    /// The released noisy count — the only value a customer may see.
+    pub value: f64,
+    /// Broker-side record of the pre-noise sample estimate. **Never
+    /// release this to a customer** — it is kept for evaluation and
+    /// auditing only.
+    pub sample_estimate: f64,
+    /// The perturbation plan that produced the answer.
+    pub plan: PerturbationPlan,
+    /// Upper bound on the released answer's variance: the estimator's
+    /// sampling variance bound plus the Laplace noise variance.
+    pub variance_bound: f64,
+}
+
+/// The data broker: answers `Λ(α, δ)` requests over a [`FlatNetwork`].
+///
+/// The broker follows the paper's two-phase pipeline:
+///
+/// 1. ensure enough samples exist (topping the network up per its
+///    [`SamplingPolicy`]),
+/// 2. run the estimator at the achieved probability `p`,
+/// 3. solve problem (3) for the optimal perturbation plan,
+/// 4. inject `Lap(Δγ̂/ε)` noise and release.
+///
+/// An optional [`BudgetAccountant`] enforces a total privacy cap across
+/// queries (sequential composition of the *effective* budgets).
+#[derive(Debug)]
+pub struct DataBroker<E = RankCounting> {
+    network: FlatNetwork,
+    estimator: E,
+    optimizer_config: OptimizerConfig,
+    sampling_policy: SamplingPolicy,
+    accountant: Option<BudgetAccountant>,
+    rng: StdRng,
+}
+
+impl DataBroker<RankCounting> {
+    /// Creates a broker using the paper's RankCounting estimator.
+    pub fn new(network: FlatNetwork, seed: u64) -> Self {
+        DataBroker::with_estimator(network, RankCounting, seed)
+    }
+}
+
+impl<E: RangeCountEstimator> DataBroker<E> {
+    /// Creates a broker with a custom estimator.
+    pub fn with_estimator(network: FlatNetwork, estimator: E, seed: u64) -> Self {
+        DataBroker {
+            network,
+            estimator,
+            optimizer_config: OptimizerConfig::default(),
+            sampling_policy: SamplingPolicy::default(),
+            accountant: None,
+            rng: StdRng::seed_from_u64(seed ^ 0xb5ad_4ece_da1c_e2a9),
+        }
+    }
+
+    /// Replaces the optimizer configuration.
+    pub fn set_optimizer_config(&mut self, config: OptimizerConfig) {
+        self.optimizer_config = config;
+    }
+
+    /// Replaces the sampling policy.
+    pub fn set_sampling_policy(&mut self, policy: SamplingPolicy) {
+        self.sampling_policy = policy;
+    }
+
+    /// Installs a total privacy budget; subsequent answers spend their
+    /// effective `ε′` against it.
+    pub fn set_privacy_budget(&mut self, total: Epsilon) {
+        self.accountant = Some(BudgetAccountant::new(total));
+    }
+
+    /// The privacy accountant, if a budget was installed.
+    pub fn accountant(&self) -> Option<&BudgetAccountant> {
+        self.accountant.as_ref()
+    }
+
+    /// The underlying network (cost-meter and ground-truth access).
+    pub fn network(&self) -> &FlatNetwork {
+        &self.network
+    }
+
+    /// Mutable access to the underlying network (failure injection etc.).
+    pub fn network_mut(&mut self) -> &mut FlatNetwork {
+        &mut self.network
+    }
+
+    /// Answers one request through the full two-phase pipeline.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InfeasibleAccuracy`] — even sampling everything
+    ///   cannot meet the demand;
+    /// * [`CoreError::Dp`] — the privacy budget is exhausted;
+    /// * [`CoreError::NoSamples`] — the network delivered nothing (e.g.
+    ///   every node dead).
+    pub fn answer(&mut self, request: &QueryRequest) -> Result<PrivateAnswer, CoreError> {
+        let k = self.network.node_count();
+        let n = self.network.total_data_size();
+        if n == 0 {
+            return Err(CoreError::NoSamples);
+        }
+
+        // Phase 1: make sure samples suffice for the internal target.
+        let internal = self.sampling_policy.internal_target(request.accuracy);
+        let target_p = required_probability_clamped(internal, k, n)?;
+        self.ensure_probability(target_p);
+
+        // Phase 2: plan the perturbation at the probability actually
+        // achieved, topping up once more if the optimizer asks for it.
+        let plan = match self.plan(request.accuracy) {
+            Ok(plan) => plan,
+            Err(CoreError::InfeasibleAccuracy {
+                required_probability,
+                ..
+            }) => {
+                self.ensure_probability((required_probability * 1.05).min(1.0));
+                self.plan(request.accuracy)?
+            }
+            Err(e) => return Err(e),
+        };
+
+        // Spend the *effective* budget before releasing anything.
+        if let Some(accountant) = &mut self.accountant {
+            accountant.spend(plan.effective_epsilon)?;
+        }
+
+        let sample_estimate = self.estimator.estimate(self.network.station(), request.query);
+        let noise = Laplace::centered(plan.noise_scale)?.sample(&mut self.rng);
+        let shape = NetworkShape::from_station(self.network.station())?;
+        let variance_bound = self
+            .estimator
+            .variance_bound(shape.k, shape.n, plan.probability)
+            + plan.noise_variance();
+
+        Ok(PrivateAnswer {
+            query: request.query,
+            accuracy: request.accuracy,
+            value: sample_estimate + noise,
+            sample_estimate,
+            plan,
+            variance_bound,
+        })
+    }
+
+    /// Experiment hook: answers with a *fixed* Laplace budget `ε` instead
+    /// of the optimizer (used by the Fig. 5 / Fig. 6 reproductions, which
+    /// sweep ε directly). Samples are topped up to `p` first; sensitivity
+    /// follows the configured policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sampling, sensitivity, and budget errors.
+    pub fn answer_with_epsilon(
+        &mut self,
+        query: RangeQuery,
+        epsilon: Epsilon,
+        p: f64,
+    ) -> Result<PrivateAnswer, CoreError> {
+        if !(0.0..=1.0).contains(&p) || p == 0.0 {
+            return Err(CoreError::InvalidProbability { value: p });
+        }
+        self.ensure_probability(p);
+        let shape = NetworkShape::from_station(self.network.station())?;
+        let achieved = self.network.station().effective_probability();
+        let sensitivity = match self.optimizer_config.sensitivity {
+            crate::optimizer::SensitivityPolicy::Expected => 1.0 / achieved,
+            crate::optimizer::SensitivityPolicy::WorstCase => {
+                shape.max_node_population as f64
+            }
+            crate::optimizer::SensitivityPolicy::Fixed(v) => v,
+        };
+        let noise_scale = sensitivity / epsilon.value();
+        let effective = prc_dp::amplification::amplify(epsilon, achieved)?;
+        if let Some(accountant) = &mut self.accountant {
+            accountant.spend(effective)?;
+        }
+        let sample_estimate = self.estimator.estimate(self.network.station(), query);
+        let noise = Laplace::centered(noise_scale)?.sample(&mut self.rng);
+        let plan = PerturbationPlan {
+            alpha_prime: f64::NAN,
+            delta_prime: f64::NAN,
+            epsilon,
+            effective_epsilon: effective,
+            sensitivity,
+            noise_scale,
+            probability: achieved,
+            tail_probability: f64::NAN,
+        };
+        let accuracy = Accuracy::new(0.5, 0.5).expect("placeholder accuracy is valid");
+        Ok(PrivateAnswer {
+            query,
+            accuracy,
+            value: sample_estimate + noise,
+            sample_estimate,
+            plan,
+            variance_bound: self.estimator.variance_bound(shape.k, shape.n, achieved)
+                + 2.0 * noise_scale * noise_scale,
+        })
+    }
+
+    /// Solves problem (3) at the currently achieved sampling probability.
+    fn plan(&self, accuracy: Accuracy) -> Result<PerturbationPlan, CoreError> {
+        let station = self.network.station();
+        let p = station.effective_probability();
+        if p <= 0.0 {
+            return Err(CoreError::NoSamples);
+        }
+        let shape = NetworkShape::from_station(station)?;
+        optimize(accuracy, p, shape, &self.optimizer_config)
+    }
+
+    /// Tops the network up to probability `target` when it lags.
+    fn ensure_probability(&mut self, target: f64) {
+        let current = self.network.station().effective_probability();
+        if current < target {
+            self.network.collect_samples(target.clamp(f64::MIN_POSITIVE, 1.0));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::BasicCounting;
+
+    fn network(k: usize, per_node: usize, seed: u64) -> FlatNetwork {
+        let partitions: Vec<Vec<f64>> = (0..k)
+            .map(|i| (0..per_node).map(|j| (i * per_node + j) as f64).collect())
+            .collect();
+        FlatNetwork::from_partitions(partitions, seed)
+    }
+
+    fn request(l: f64, u: f64, a: f64, d: f64) -> QueryRequest {
+        QueryRequest::new(
+            RangeQuery::new(l, u).unwrap(),
+            Accuracy::new(a, d).unwrap(),
+        )
+    }
+
+    #[test]
+    fn end_to_end_answer_meets_accuracy_often() {
+        // Definition 2.2: |answer − truth| ≤ αn with probability ≥ δ.
+        let n_total = 10_000.0;
+        let req = request(2_000.0, 7_000.0, 0.05, 0.8);
+        let truth = 5_001.0;
+        let trials = 300;
+        let mut hits = 0;
+        for seed in 0..trials {
+            let mut broker = DataBroker::new(network(10, 1_000, seed), seed);
+            let answer = broker.answer(&req).unwrap();
+            if (answer.value - truth).abs() <= 0.05 * n_total {
+                hits += 1;
+            }
+        }
+        let rate = hits as f64 / trials as f64;
+        assert!(
+            rate >= 0.8,
+            "accuracy guarantee violated empirically: hit rate {rate}"
+        );
+    }
+
+    #[test]
+    fn answer_reports_consistent_plan() {
+        let mut broker = DataBroker::new(network(8, 500, 3), 3);
+        let req = request(100.0, 900.0, 0.1, 0.6);
+        let answer = broker.answer(&req).unwrap();
+        assert_eq!(answer.query, req.query);
+        assert_eq!(answer.accuracy, req.accuracy);
+        assert!(answer.plan.alpha_prime < req.accuracy.alpha());
+        assert!(answer.plan.delta_prime > req.accuracy.delta());
+        assert!(answer.variance_bound > 0.0);
+        assert!((answer.value - answer.sample_estimate).abs() < answer.plan.noise_scale * 60.0);
+    }
+
+    #[test]
+    fn broker_tops_up_samples_on_demand() {
+        let mut broker = DataBroker::new(network(5, 2_000, 1), 1);
+        assert_eq!(broker.network().station().total_samples(), 0);
+        let loose = request(0.0, 10_000.0, 0.2, 0.5);
+        broker.answer(&loose).unwrap();
+        let after_loose = broker.network().station().effective_probability();
+        assert!(after_loose > 0.0);
+        // A stricter query forces a higher sampling probability.
+        let strict = request(0.0, 10_000.0, 0.03, 0.9);
+        broker.answer(&strict).unwrap();
+        let after_strict = broker.network().station().effective_probability();
+        assert!(after_strict > after_loose);
+    }
+
+    #[test]
+    fn budget_accounting_blocks_overspend() {
+        let mut broker = DataBroker::new(network(5, 2_000, 2), 2);
+        let req = request(0.0, 5_000.0, 0.1, 0.6);
+        // Learn the per-answer cost, then install a budget for ~2 answers.
+        let probe = broker.answer(&req).unwrap();
+        let per_query = probe.plan.effective_epsilon.value();
+        broker.set_privacy_budget(Epsilon::new(per_query * 2.5).unwrap());
+        broker.answer(&req).unwrap();
+        broker.answer(&req).unwrap();
+        let err = broker.answer(&req).unwrap_err();
+        assert!(matches!(err, CoreError::Dp(prc_dp::DpError::BudgetExhausted { .. })));
+        let acc = broker.accountant().unwrap();
+        assert_eq!(acc.operations(), 2);
+    }
+
+    #[test]
+    fn works_with_basic_counting_estimator() {
+        let mut broker = DataBroker::with_estimator(network(5, 1_000, 4), BasicCounting, 4);
+        let answer = broker.answer(&request(0.0, 2_500.0, 0.1, 0.6)).unwrap();
+        assert!(answer.value.is_finite());
+        // BasicCounting's variance bound dominates RankCounting's here.
+        assert!(answer.variance_bound > 0.0);
+    }
+
+    #[test]
+    fn fixed_epsilon_hook_controls_noise_scale() {
+        let mut broker = DataBroker::new(network(5, 1_000, 5), 5);
+        let q = RangeQuery::new(0.0, 2_500.0).unwrap();
+        let answer = broker
+            .answer_with_epsilon(q, Epsilon::new(2.0).unwrap(), 0.4)
+            .unwrap();
+        assert!((answer.plan.probability - 0.4).abs() < 1e-12);
+        // Δ = 1/p = 2.5, b = Δ/ε = 1.25.
+        assert!((answer.plan.noise_scale - 1.25).abs() < 1e-12);
+        assert!(answer.plan.effective_epsilon.value() < 2.0);
+        assert!(broker
+            .answer_with_epsilon(q, Epsilon::new(1.0).unwrap(), 0.0)
+            .is_err());
+    }
+
+    #[test]
+    fn answers_are_noisy_but_centred() {
+        let req = request(1_000.0, 3_000.0, 0.08, 0.6);
+        let truth = 2_001.0;
+        let trials = 400;
+        let mut sum = 0.0;
+        let mut distinct = std::collections::HashSet::new();
+        for seed in 0..trials {
+            let mut broker = DataBroker::new(network(4, 1_000, seed + 100), seed + 100);
+            let a = broker.answer(&req).unwrap();
+            sum += a.value;
+            distinct.insert(a.value.to_bits());
+        }
+        assert!(distinct.len() > trials as usize - 5, "answers must vary");
+        let mean = sum / trials as f64;
+        assert!(
+            (mean - truth).abs() < 25.0,
+            "released answers should be centred on the truth: mean {mean}"
+        );
+    }
+
+    #[test]
+    fn empty_network_data_errors() {
+        let mut broker = DataBroker::new(FlatNetwork::from_partitions(vec![vec![]], 0), 0);
+        let err = broker.answer(&request(0.0, 1.0, 0.1, 0.5)).unwrap_err();
+        assert!(matches!(err, CoreError::NoSamples));
+    }
+
+    #[test]
+    fn sampling_policy_targets_are_strictly_tighter() {
+        let accuracy = Accuracy::new(0.1, 0.6).unwrap();
+        let target = SamplingPolicy::default().internal_target(accuracy);
+        assert!(target.alpha() < accuracy.alpha());
+        assert!(target.delta() > accuracy.delta());
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha_fraction")]
+    fn bad_sampling_policy_panics() {
+        let policy = SamplingPolicy {
+            alpha_fraction: 1.5,
+            delta_margin: 0.5,
+        };
+        policy.internal_target(Accuracy::new(0.1, 0.5).unwrap());
+    }
+}

@@ -1,0 +1,153 @@
+//! The consumer side: purchasing answers and combining them.
+//!
+//! Example 4.1 of the paper describes the adversarial play this module
+//! implements: buy `m` cheap, high-variance answers to the *same* range
+//! and average them (Eq. 4), obtaining variance `(1/m²)·Σ V(αᵢ, δᵢ)` —
+//! potentially lower than the variance of a single expensive answer. The
+//! pricing crate uses [`AnswerBundle`] to simulate exactly this attack.
+
+use crate::broker::PrivateAnswer;
+
+/// A set of purchased answers to the same range query, combined by plain
+/// averaging (the paper's Eq. 4).
+#[derive(Debug, Clone, Default)]
+pub struct AnswerBundle {
+    answers: Vec<PrivateAnswer>,
+}
+
+impl AnswerBundle {
+    /// An empty bundle.
+    pub fn new() -> Self {
+        AnswerBundle::default()
+    }
+
+    /// Adds a purchased answer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the answer's query differs from the bundle's existing
+    /// query — averaging answers to different ranges is meaningless.
+    pub fn push(&mut self, answer: PrivateAnswer) {
+        if let Some(first) = self.answers.first() {
+            assert_eq!(
+                first.query, answer.query,
+                "bundle must hold answers to a single range query"
+            );
+        }
+        self.answers.push(answer);
+    }
+
+    /// Number of purchased answers.
+    pub fn len(&self) -> usize {
+        self.answers.len()
+    }
+
+    /// True when nothing has been purchased.
+    pub fn is_empty(&self) -> bool {
+        self.answers.is_empty()
+    }
+
+    /// The purchased answers.
+    pub fn answers(&self) -> &[PrivateAnswer] {
+        &self.answers
+    }
+
+    /// Equal-weight average of the purchased values (Eq. 4), or `None`
+    /// for an empty bundle.
+    pub fn combined_value(&self) -> Option<f64> {
+        if self.answers.is_empty() {
+            return None;
+        }
+        Some(self.answers.iter().map(|a| a.value).sum::<f64>() / self.answers.len() as f64)
+    }
+
+    /// Variance bound of the average: `(1/m²)·Σ Vᵢ` with each `Vᵢ` taken
+    /// from the answer's broker-certified [`PrivateAnswer::variance_bound`].
+    ///
+    /// Returns `None` for an empty bundle.
+    pub fn combined_variance_bound(&self) -> Option<f64> {
+        if self.answers.is_empty() {
+            return None;
+        }
+        let m = self.answers.len() as f64;
+        Some(self.answers.iter().map(|a| a.variance_bound).sum::<f64>() / (m * m))
+    }
+}
+
+impl FromIterator<PrivateAnswer> for AnswerBundle {
+    fn from_iter<I: IntoIterator<Item = PrivateAnswer>>(iter: I) -> Self {
+        let mut bundle = AnswerBundle::new();
+        for a in iter {
+            bundle.push(a);
+        }
+        bundle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::PerturbationPlan;
+    use crate::query::{Accuracy, RangeQuery};
+    use prc_dp::budget::Epsilon;
+
+    fn answer(value: f64, variance: f64, l: f64, u: f64) -> PrivateAnswer {
+        PrivateAnswer {
+            query: RangeQuery::new(l, u).unwrap(),
+            accuracy: Accuracy::new(0.1, 0.5).unwrap(),
+            value,
+            sample_estimate: value,
+            plan: PerturbationPlan {
+                alpha_prime: 0.05,
+                delta_prime: 0.8,
+                epsilon: Epsilon::new(1.0).unwrap(),
+                effective_epsilon: Epsilon::new(0.5).unwrap(),
+                sensitivity: 2.0,
+                noise_scale: 2.0,
+                probability: 0.5,
+                tail_probability: 0.6,
+            },
+            variance_bound: variance,
+        }
+    }
+
+    #[test]
+    fn empty_bundle_yields_none() {
+        let bundle = AnswerBundle::new();
+        assert!(bundle.is_empty());
+        assert_eq!(bundle.combined_value(), None);
+        assert_eq!(bundle.combined_variance_bound(), None);
+    }
+
+    #[test]
+    fn averaging_follows_equation_4() {
+        let bundle: AnswerBundle = vec![
+            answer(10.0, 100.0, 0.0, 1.0),
+            answer(20.0, 200.0, 0.0, 1.0),
+            answer(30.0, 300.0, 0.0, 1.0),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(bundle.len(), 3);
+        assert_eq!(bundle.combined_value(), Some(20.0));
+        // (100+200+300)/9
+        assert!((bundle.combined_variance_bound().unwrap() - 600.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn averaging_reduces_variance() {
+        // m identical purchases divide the variance bound by m.
+        let m = 5;
+        let bundle: AnswerBundle = (0..m).map(|_| answer(7.0, 50.0, 0.0, 1.0)).collect();
+        let combined = bundle.combined_variance_bound().unwrap();
+        assert!((combined - 50.0 / m as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "single range query")]
+    fn mixed_queries_panic() {
+        let mut bundle = AnswerBundle::new();
+        bundle.push(answer(1.0, 1.0, 0.0, 1.0));
+        bundle.push(answer(1.0, 1.0, 0.0, 2.0));
+    }
+}

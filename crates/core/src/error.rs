@@ -1,0 +1,110 @@
+//! Error types for the range-counting pipeline.
+
+use std::fmt;
+
+use prc_dp::DpError;
+
+/// Errors produced by query construction, estimation, and perturbation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A range bound was NaN, or `l > u`.
+    InvalidRange {
+        /// Lower bound as given.
+        l: f64,
+        /// Upper bound as given.
+        u: f64,
+    },
+    /// An accuracy parameter fell outside `(0, 1)`.
+    InvalidAccuracy {
+        /// The α parameter as given.
+        alpha: f64,
+        /// The δ parameter as given.
+        delta: f64,
+    },
+    /// No intermediate accuracy `(α′, δ′)` satisfies the optimizer's
+    /// constraints at the current sampling probability; more samples are
+    /// needed.
+    InfeasibleAccuracy {
+        /// The sampling probability available.
+        available_probability: f64,
+        /// A sampling probability that would make the demand feasible.
+        required_probability: f64,
+    },
+    /// A sampling probability fell outside `(0, 1]`.
+    InvalidProbability {
+        /// The offending value.
+        value: f64,
+    },
+    /// The network has reported no samples at all.
+    NoSamples,
+    /// An underlying differential-privacy error.
+    Dp(DpError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidRange { l, u } => {
+                write!(f, "invalid range: bounds must be non-NaN with l <= u, got [{l}, {u}]")
+            }
+            CoreError::InvalidAccuracy { alpha, delta } => write!(
+                f,
+                "accuracy parameters must lie in (0, 1), got alpha={alpha}, delta={delta}"
+            ),
+            CoreError::InfeasibleAccuracy {
+                available_probability,
+                required_probability,
+            } => write!(
+                f,
+                "accuracy demand infeasible at sampling probability {available_probability}; \
+                 approximately {required_probability} is required"
+            ),
+            CoreError::InvalidProbability { value } => {
+                write!(f, "sampling probability must be in (0, 1], got {value}")
+            }
+            CoreError::NoSamples => write!(f, "the base station holds no samples"),
+            CoreError::Dp(e) => write!(f, "differential privacy error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Dp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DpError> for CoreError {
+    fn from(e: DpError) -> Self {
+        CoreError::Dp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::InvalidRange { l: 3.0, u: 1.0 };
+        assert!(e.to_string().contains("[3, 1]"));
+        let e = CoreError::InfeasibleAccuracy {
+            available_probability: 0.1,
+            required_probability: 0.4,
+        };
+        assert!(e.to_string().contains("0.4"));
+    }
+
+    #[test]
+    fn dp_errors_convert_and_chain() {
+        use std::error::Error as _;
+        let e: CoreError = DpError::InvalidEpsilon { value: -1.0 }.into();
+        assert!(matches!(e, CoreError::Dp(_)));
+        assert!(e.source().is_some());
+        assert!(CoreError::NoSamples.source().is_none());
+    }
+}

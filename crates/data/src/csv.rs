@@ -1,0 +1,331 @@
+//! CSV codec for pollution datasets.
+//!
+//! Two dialects are accepted when reading:
+//!
+//! 1. the canonical dialect written by [`write_csv`]:
+//!    `timestamp,sensor_id,ozone,particulate_matter,carbon_monoxide,sulfur_dioxide,nitrogen_dioxide`
+//!    with timestamps as unix seconds;
+//! 2. the original CityPulse dialect, whose headers use the dataset's own
+//!    (misspelled) column names `particullate_matter` / `sulfure_dioxide`,
+//!    carry extra `longitude`/`latitude` columns, and stamp rows with civil
+//!    times such as `2014-08-01 00:05:00`.
+//!
+//! Columns are located by header name, so column order is irrelevant and
+//! unknown columns are ignored.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use crate::error::DataError;
+use crate::record::{Dataset, PollutionRecord};
+use crate::time::Timestamp;
+
+/// Header aliases accepted for each logical column.
+const COLUMN_ALIASES: [(&str, &[&str]); 7] = [
+    ("timestamp", &["timestamp", "time", "date"]),
+    ("sensor_id", &["sensor_id", "sensor", "report_id"]),
+    ("ozone", &["ozone"]),
+    (
+        "particulate_matter",
+        &["particulate_matter", "particullate_matter", "pm"],
+    ),
+    ("carbon_monoxide", &["carbon_monoxide", "co"]),
+    (
+        "sulfur_dioxide",
+        &["sulfur_dioxide", "sulfure_dioxide", "so2"],
+    ),
+    (
+        "nitrogen_dioxide",
+        &["nitrogen_dioxide", "no2"],
+    ),
+];
+
+/// Reads a dataset from any [`Read`] source.
+///
+/// The `sensor_id` column is optional (the original CityPulse files carry
+/// one file per sensor); missing sensor ids default to `0`.
+///
+/// # Errors
+///
+/// Returns [`DataError`] when the header misses a required column, a row
+/// has the wrong field count, or a field fails to parse.
+pub fn read_csv<R: Read>(reader: R) -> Result<Dataset, DataError> {
+    let reader = BufReader::new(reader);
+    let mut lines = reader.lines();
+
+    let header_line = match lines.next() {
+        Some(line) => line?,
+        None => return Err(DataError::Empty),
+    };
+    let headers: Vec<String> = header_line
+        .split(',')
+        .map(|h| h.trim().to_ascii_lowercase())
+        .collect();
+
+    let locate = |logical: &str| -> Option<usize> {
+        let aliases = COLUMN_ALIASES
+            .iter()
+            .find(|(name, _)| *name == logical)
+            .map(|(_, aliases)| *aliases)
+            .unwrap_or(&[]);
+        headers
+            .iter()
+            .position(|h| aliases.contains(&h.as_str()))
+    };
+
+    let require = |logical: &str| -> Result<usize, DataError> {
+        locate(logical).ok_or_else(|| DataError::MissingColumn {
+            column: logical.to_owned(),
+        })
+    };
+
+    let col_timestamp = require("timestamp")?;
+    let col_sensor = locate("sensor_id");
+    let col_ozone = require("ozone")?;
+    let col_pm = require("particulate_matter")?;
+    let col_co = require("carbon_monoxide")?;
+    let col_so2 = require("sulfur_dioxide")?;
+    let col_no2 = require("nitrogen_dioxide")?;
+
+    let mut records = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let line = line?;
+        let line_no = i + 2; // 1-based, after the header
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() != headers.len() {
+            return Err(DataError::FieldCount {
+                line: line_no,
+                expected: headers.len(),
+                found: fields.len(),
+            });
+        }
+
+        let parse_f64 = |col: usize, name: &str| -> Result<f64, DataError> {
+            fields[col].parse::<f64>().map_err(|_| DataError::ParseField {
+                line: line_no,
+                column: name.to_owned(),
+                value: fields[col].to_owned(),
+            })
+        };
+
+        let raw_ts = fields[col_timestamp];
+        let timestamp = parse_timestamp(raw_ts).ok_or_else(|| DataError::ParseTimestamp {
+            line: line_no,
+            value: raw_ts.to_owned(),
+        })?;
+
+        let sensor_id = match col_sensor {
+            Some(col) => fields[col].parse::<u32>().map_err(|_| DataError::ParseField {
+                line: line_no,
+                column: "sensor_id".to_owned(),
+                value: fields[col].to_owned(),
+            })?,
+            None => 0,
+        };
+
+        records.push(PollutionRecord {
+            timestamp,
+            sensor_id,
+            ozone: parse_f64(col_ozone, "ozone")?,
+            particulate_matter: parse_f64(col_pm, "particulate_matter")?,
+            carbon_monoxide: parse_f64(col_co, "carbon_monoxide")?,
+            sulfur_dioxide: parse_f64(col_so2, "sulfur_dioxide")?,
+            nitrogen_dioxide: parse_f64(col_no2, "nitrogen_dioxide")?,
+        });
+    }
+
+    Ok(Dataset::from_records(records))
+}
+
+/// Reads a dataset from a file path.
+///
+/// # Errors
+///
+/// Propagates I/O failures and every error of [`read_csv`].
+pub fn read_csv_file<P: AsRef<Path>>(path: P) -> Result<Dataset, DataError> {
+    let file = std::fs::File::open(path)?;
+    read_csv(file)
+}
+
+/// Writes a dataset in the canonical dialect (unix-second timestamps).
+///
+/// # Errors
+///
+/// Propagates I/O failures from the writer.
+pub fn write_csv<W: Write>(mut writer: W, dataset: &Dataset) -> Result<(), DataError> {
+    writeln!(
+        writer,
+        "timestamp,sensor_id,ozone,particulate_matter,carbon_monoxide,sulfur_dioxide,nitrogen_dioxide"
+    )?;
+    for r in dataset {
+        writeln!(
+            writer,
+            "{},{},{},{},{},{},{}",
+            r.timestamp.unix_seconds(),
+            r.sensor_id,
+            r.ozone,
+            r.particulate_matter,
+            r.carbon_monoxide,
+            r.sulfur_dioxide,
+            r.nitrogen_dioxide
+        )?;
+    }
+    Ok(())
+}
+
+/// Writes a dataset to a file path in the canonical dialect.
+///
+/// # Errors
+///
+/// Propagates I/O failures and every error of [`write_csv`].
+pub fn write_csv_file<P: AsRef<Path>>(path: P, dataset: &Dataset) -> Result<(), DataError> {
+    let file = std::fs::File::create(path)?;
+    write_csv(std::io::BufWriter::new(file), dataset)
+}
+
+/// Parses either unix seconds or a civil `YYYY-MM-DD HH:MM:SS` timestamp.
+fn parse_timestamp(raw: &str) -> Option<Timestamp> {
+    if let Ok(secs) = raw.parse::<i64>() {
+        return Some(Timestamp(secs));
+    }
+    Timestamp::parse_civil(raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::CityPulseGenerator;
+
+    #[test]
+    fn round_trip_canonical_dialect() {
+        let ds = CityPulseGenerator::new(11).record_count(50).generate();
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &ds).unwrap();
+        let back = read_csv(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), ds.len());
+        for (a, b) in ds.iter().zip(back.iter()) {
+            assert_eq!(a.timestamp, b.timestamp);
+            assert_eq!(a.sensor_id, b.sensor_id);
+            assert!((a.ozone - b.ozone).abs() < 1e-9);
+            assert!((a.nitrogen_dioxide - b.nitrogen_dioxide).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn reads_citypulse_dialect() {
+        let csv = "\
+ozone,particullate_matter,carbon_monoxide,sulfure_dioxide,nitrogen_dioxide,longitude,latitude,timestamp
+101,94,49,46,75,10.1050,56.2317,2014-08-01 00:05:00
+100,96,48,45,76,10.1050,56.2317,2014-08-01 00:10:00
+";
+        let ds = read_csv(csv.as_bytes()).unwrap();
+        assert_eq!(ds.len(), 2);
+        let r = &ds.records()[0];
+        assert_eq!(r.timestamp, Timestamp::from_civil(2014, 8, 1, 0, 5, 0));
+        assert_eq!(r.sensor_id, 0); // no sensor column in this dialect
+        assert_eq!(r.ozone, 101.0);
+        assert_eq!(r.particulate_matter, 94.0);
+        assert_eq!(r.sulfur_dioxide, 46.0);
+    }
+
+    #[test]
+    fn header_matching_is_case_insensitive_and_order_free() {
+        let csv = "\
+Nitrogen_Dioxide,OZONE,sensor_id,timestamp,carbon_monoxide,sulfur_dioxide,particulate_matter
+75,101,3,1406851500,49,46,94
+";
+        let ds = read_csv(csv.as_bytes()).unwrap();
+        assert_eq!(ds.records()[0].sensor_id, 3);
+        assert_eq!(ds.records()[0].ozone, 101.0);
+        assert_eq!(ds.records()[0].nitrogen_dioxide, 75.0);
+    }
+
+    #[test]
+    fn missing_column_is_reported() {
+        let csv = "timestamp,ozone\n0,1.0\n";
+        match read_csv(csv.as_bytes()) {
+            Err(DataError::MissingColumn { column }) => {
+                assert_eq!(column, "particulate_matter");
+            }
+            other => panic!("expected MissingColumn, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_field_count_is_reported_with_line() {
+        let csv = "\
+timestamp,sensor_id,ozone,particulate_matter,carbon_monoxide,sulfur_dioxide,nitrogen_dioxide
+0,1,1,2,3,4,5
+0,1,1,2,3
+";
+        match read_csv(csv.as_bytes()) {
+            Err(DataError::FieldCount { line, expected, found }) => {
+                assert_eq!((line, expected, found), (3, 7, 5));
+            }
+            other => panic!("expected FieldCount, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_value_is_reported_with_column() {
+        let csv = "\
+timestamp,sensor_id,ozone,particulate_matter,carbon_monoxide,sulfur_dioxide,nitrogen_dioxide
+0,1,abc,2,3,4,5
+";
+        match read_csv(csv.as_bytes()) {
+            Err(DataError::ParseField { line, column, value }) => {
+                assert_eq!(line, 2);
+                assert_eq!(column, "ozone");
+                assert_eq!(value, "abc");
+            }
+            other => panic!("expected ParseField, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_timestamp_is_reported() {
+        let csv = "\
+timestamp,sensor_id,ozone,particulate_matter,carbon_monoxide,sulfur_dioxide,nitrogen_dioxide
+yesterday,1,1,2,3,4,5
+";
+        assert!(matches!(
+            read_csv(csv.as_bytes()),
+            Err(DataError::ParseTimestamp { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_input_is_an_error_but_header_only_is_empty_dataset() {
+        assert!(matches!(read_csv(&b""[..]), Err(DataError::Empty)));
+        let csv = "timestamp,sensor_id,ozone,particulate_matter,carbon_monoxide,sulfur_dioxide,nitrogen_dioxide\n";
+        let ds = read_csv(csv.as_bytes()).unwrap();
+        assert!(ds.is_empty());
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let csv = "\
+timestamp,sensor_id,ozone,particulate_matter,carbon_monoxide,sulfur_dioxide,nitrogen_dioxide
+0,1,1,2,3,4,5
+
+300,1,2,3,4,5,6
+";
+        let ds = read_csv(csv.as_bytes()).unwrap();
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("prc_data_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.csv");
+        let ds = CityPulseGenerator::new(2).record_count(10).generate();
+        write_csv_file(&path, &ds).unwrap();
+        let back = read_csv_file(&path).unwrap();
+        assert_eq!(back.len(), 10);
+        std::fs::remove_file(&path).ok();
+    }
+}

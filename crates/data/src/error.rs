@@ -1,0 +1,129 @@
+//! Error types for dataset loading and parsing.
+
+use std::fmt;
+
+/// Errors produced while reading, parsing, or validating datasets.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DataError {
+    /// An underlying I/O failure while reading or writing a dataset file.
+    Io(std::io::Error),
+    /// A CSV header did not contain a required column.
+    MissingColumn {
+        /// Name of the column that could not be located.
+        column: String,
+    },
+    /// A CSV field failed to parse.
+    ParseField {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// Column name of the offending field.
+        column: String,
+        /// The raw field content.
+        value: String,
+    },
+    /// A timestamp string did not match the `YYYY-MM-DD HH:MM:SS` layout.
+    ParseTimestamp {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// The raw timestamp string.
+        value: String,
+    },
+    /// A record row had a different number of fields than the header.
+    FieldCount {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// Number of fields expected (from the header).
+        expected: usize,
+        /// Number of fields found.
+        found: usize,
+    },
+    /// The input contained no records.
+    Empty,
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Io(e) => write!(f, "i/o error: {e}"),
+            DataError::MissingColumn { column } => {
+                write!(f, "csv header is missing required column `{column}`")
+            }
+            DataError::ParseField {
+                line,
+                column,
+                value,
+            } => write!(
+                f,
+                "line {line}: could not parse field `{column}` from `{value}`"
+            ),
+            DataError::ParseTimestamp { line, value } => write!(
+                f,
+                "line {line}: could not parse timestamp `{value}` \
+                 (expected `YYYY-MM-DD HH:MM:SS` or unix seconds)"
+            ),
+            DataError::FieldCount {
+                line,
+                expected,
+                found,
+            } => write!(
+                f,
+                "line {line}: expected {expected} fields but found {found}"
+            ),
+            DataError::Empty => write!(f, "input contained no records"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DataError::MissingColumn {
+            column: "ozone".to_owned(),
+        };
+        assert!(e.to_string().contains("ozone"));
+
+        let e = DataError::ParseField {
+            line: 7,
+            column: "carbon_monoxide".to_owned(),
+            value: "n/a".to_owned(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("line 7"));
+        assert!(s.contains("carbon_monoxide"));
+        assert!(s.contains("n/a"));
+    }
+
+    #[test]
+    fn io_error_source_is_preserved() {
+        use std::error::Error as _;
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = DataError::from(io);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn non_io_errors_have_no_source() {
+        use std::error::Error as _;
+        assert!(DataError::Empty.source().is_none());
+    }
+}

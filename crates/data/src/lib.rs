@@ -1,0 +1,44 @@
+//! # prc-data — pollution dataset substrate
+//!
+//! This crate provides the data layer for the `prc` workspace, a
+//! reproduction of *"Trading Private Range Counting over Big IoT Data"*
+//! (Cai & He, ICDCS 2019). The paper evaluates on the 2014 CityPulse Smart
+//! City pollution dataset: 17,568 records sampled every five minutes from
+//! road-side sensors between 2014-08-01 00:05 and 2014-10-01 00:00, each
+//! record carrying five air-quality indexes (ozone, particulate matter,
+//! carbon monoxide, sulfur dioxide, and nitrogen dioxide).
+//!
+//! The original download service is no longer reachable, so this crate
+//! ships a **seeded synthetic generator** ([`generator::CityPulseGenerator`])
+//! that reproduces the dataset's shape — size, cadence, five bounded and
+//! temporally correlated series — which is the only property the paper's
+//! estimators and evaluation depend on. A CSV codec ([`csv`]) reads the
+//! real dataset when a copy is available.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use prc_data::generator::CityPulseGenerator;
+//! use prc_data::record::AirQualityIndex;
+//!
+//! let dataset = CityPulseGenerator::new(42).generate();
+//! assert_eq!(dataset.len(), 17_568);
+//! let ozone = dataset.values(AirQualityIndex::Ozone);
+//! assert_eq!(ozone.len(), dataset.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod error;
+pub mod generator;
+pub mod partition;
+pub mod record;
+pub mod stats;
+pub mod stream;
+pub mod time;
+
+pub use error::DataError;
+pub use generator::CityPulseGenerator;
+pub use record::{AirQualityIndex, Dataset, PollutionRecord};

@@ -1,0 +1,229 @@
+//! Privacy budgets and composition accounting.
+//!
+//! [`Epsilon`] is a validated non-negative privacy budget. The
+//! [`BudgetAccountant`] tracks cumulative spend under *sequential
+//! composition* (budgets add) and enforces a total cap — the discipline a
+//! data broker needs when it answers a stream of queries against the same
+//! sample (§II-A of the paper).
+
+use crate::error::DpError;
+
+/// A validated privacy budget: a finite, non-negative `ε`.
+///
+/// `ε = 0` is allowed and denotes perfect indistinguishability (infinite
+/// noise); most mechanism constructors reject it separately because no
+/// finite noise scale realizes it.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, serde::Serialize, serde::Deserialize)]
+pub struct Epsilon(f64);
+
+impl Epsilon {
+    /// Wraps a raw budget value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DpError::InvalidEpsilon`] unless `value` is finite and
+    /// non-negative.
+    pub fn new(value: f64) -> Result<Self, DpError> {
+        if !value.is_finite() || value < 0.0 {
+            return Err(DpError::InvalidEpsilon { value });
+        }
+        Ok(Epsilon(value))
+    }
+
+    /// The raw budget value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// True when the budget is exactly zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+
+    /// Sequential composition: running an `ε₁`-DP and an `ε₂`-DP mechanism
+    /// on the same data is `(ε₁+ε₂)`-DP.
+    pub fn compose_sequential(self, other: Epsilon) -> Epsilon {
+        Epsilon(self.0 + other.0)
+    }
+
+    /// Parallel composition: running mechanisms on *disjoint* partitions
+    /// of the data is `max(ε₁, ε₂)`-DP.
+    pub fn compose_parallel(self, other: Epsilon) -> Epsilon {
+        Epsilon(self.0.max(other.0))
+    }
+}
+
+impl std::fmt::Display for Epsilon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ε={}", self.0)
+    }
+}
+
+impl TryFrom<f64> for Epsilon {
+    type Error = DpError;
+
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        Epsilon::new(value)
+    }
+}
+
+impl From<Epsilon> for f64 {
+    fn from(e: Epsilon) -> f64 {
+        e.value()
+    }
+}
+
+/// Tracks privacy-budget spend against a total cap under sequential
+/// composition.
+///
+/// # Examples
+///
+/// ```
+/// use prc_dp::budget::{BudgetAccountant, Epsilon};
+///
+/// # fn main() -> Result<(), prc_dp::DpError> {
+/// let mut accountant = BudgetAccountant::new(Epsilon::new(1.0)?);
+/// accountant.spend(Epsilon::new(0.4)?)?;
+/// assert!((accountant.remaining().value() - 0.6).abs() < 1e-12);
+/// assert!(accountant.spend(Epsilon::new(0.7)?).is_err());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BudgetAccountant {
+    total: Epsilon,
+    spent: f64,
+    operations: u64,
+}
+
+impl BudgetAccountant {
+    /// Creates an accountant with the given total budget.
+    pub fn new(total: Epsilon) -> Self {
+        BudgetAccountant {
+            total,
+            spent: 0.0,
+            operations: 0,
+        }
+    }
+
+    /// The total budget cap.
+    pub fn total(&self) -> Epsilon {
+        self.total
+    }
+
+    /// Budget spent so far.
+    pub fn spent(&self) -> Epsilon {
+        Epsilon(self.spent)
+    }
+
+    /// Budget still available.
+    pub fn remaining(&self) -> Epsilon {
+        Epsilon((self.total.0 - self.spent).max(0.0))
+    }
+
+    /// Number of successful spend operations.
+    pub fn operations(&self) -> u64 {
+        self.operations
+    }
+
+    /// Attempts to spend `epsilon` from the remaining budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DpError::BudgetExhausted`] (and spends nothing) when the
+    /// request exceeds the remaining budget. A tiny tolerance (1e-12 of
+    /// the total) absorbs floating-point accumulation error.
+    pub fn spend(&mut self, epsilon: Epsilon) -> Result<(), DpError> {
+        let tolerance = 1e-12 * self.total.0.max(1.0);
+        if self.spent + epsilon.0 > self.total.0 + tolerance {
+            return Err(DpError::BudgetExhausted {
+                requested: epsilon.0,
+                remaining: self.remaining().0,
+            });
+        }
+        self.spent += epsilon.0;
+        self.operations += 1;
+        Ok(())
+    }
+
+    /// True when any further non-zero spend would fail.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining().0 <= 1e-12 * self.total.0.max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_validation() {
+        assert!(Epsilon::new(0.0).is_ok());
+        assert!(Epsilon::new(3.5).is_ok());
+        assert!(Epsilon::new(-0.1).is_err());
+        assert!(Epsilon::new(f64::NAN).is_err());
+        assert!(Epsilon::new(f64::INFINITY).is_err());
+        assert!(Epsilon::new(0.0).unwrap().is_zero());
+        assert!(!Epsilon::new(0.1).unwrap().is_zero());
+    }
+
+    #[test]
+    fn conversions() {
+        let e = Epsilon::try_from(0.7).unwrap();
+        assert_eq!(f64::from(e), 0.7);
+        assert_eq!(e.to_string(), "ε=0.7");
+        assert!(Epsilon::try_from(-1.0).is_err());
+    }
+
+    #[test]
+    fn composition_rules() {
+        let a = Epsilon::new(0.3).unwrap();
+        let b = Epsilon::new(0.5).unwrap();
+        assert!((a.compose_sequential(b).value() - 0.8).abs() < 1e-15);
+        assert_eq!(a.compose_parallel(b).value(), 0.5);
+    }
+
+    #[test]
+    fn accountant_tracks_spend() {
+        let mut acc = BudgetAccountant::new(Epsilon::new(2.0).unwrap());
+        assert_eq!(acc.operations(), 0);
+        acc.spend(Epsilon::new(0.5).unwrap()).unwrap();
+        acc.spend(Epsilon::new(1.0).unwrap()).unwrap();
+        assert_eq!(acc.operations(), 2);
+        assert!((acc.spent().value() - 1.5).abs() < 1e-12);
+        assert!((acc.remaining().value() - 0.5).abs() < 1e-12);
+        assert!(!acc.is_exhausted());
+    }
+
+    #[test]
+    fn accountant_rejects_overspend_without_mutating() {
+        let mut acc = BudgetAccountant::new(Epsilon::new(1.0).unwrap());
+        acc.spend(Epsilon::new(0.9).unwrap()).unwrap();
+        let err = acc.spend(Epsilon::new(0.2).unwrap()).unwrap_err();
+        assert!(matches!(err, DpError::BudgetExhausted { .. }));
+        // A failed spend leaves the accountant untouched.
+        assert!((acc.spent().value() - 0.9).abs() < 1e-12);
+        assert_eq!(acc.operations(), 1);
+        // A fitting spend still succeeds.
+        acc.spend(Epsilon::new(0.1).unwrap()).unwrap();
+        assert!(acc.is_exhausted());
+    }
+
+    #[test]
+    fn accountant_tolerates_float_accumulation() {
+        let mut acc = BudgetAccountant::new(Epsilon::new(1.0).unwrap());
+        let step = Epsilon::new(0.1).unwrap();
+        for _ in 0..10 {
+            acc.spend(step).unwrap();
+        }
+        assert!(acc.is_exhausted());
+        assert!(acc.spend(Epsilon::new(0.01).unwrap()).is_err());
+    }
+
+    #[test]
+    fn zero_spend_always_succeeds() {
+        let mut acc = BudgetAccountant::new(Epsilon::new(0.0).unwrap());
+        acc.spend(Epsilon::new(0.0).unwrap()).unwrap();
+        assert!(acc.is_exhausted());
+    }
+}

@@ -1,0 +1,92 @@
+//! Error types for the differential-privacy substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing or composing privacy primitives.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DpError {
+    /// A privacy budget was not a finite non-negative number.
+    InvalidEpsilon {
+        /// The offending value.
+        value: f64,
+    },
+    /// A query sensitivity was not a finite positive number.
+    InvalidSensitivity {
+        /// The offending value.
+        value: f64,
+    },
+    /// A distribution scale was not a finite positive number.
+    InvalidScale {
+        /// The offending value.
+        value: f64,
+    },
+    /// A probability argument fell outside its required interval.
+    InvalidProbability {
+        /// The offending value.
+        value: f64,
+        /// Human-readable description of the required interval.
+        expected: &'static str,
+    },
+    /// A spend request exceeded the remaining privacy budget.
+    BudgetExhausted {
+        /// Budget requested by the operation.
+        requested: f64,
+        /// Budget still available.
+        remaining: f64,
+    },
+}
+
+impl fmt::Display for DpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DpError::InvalidEpsilon { value } => {
+                write!(f, "privacy budget must be finite and non-negative, got {value}")
+            }
+            DpError::InvalidSensitivity { value } => {
+                write!(f, "sensitivity must be finite and positive, got {value}")
+            }
+            DpError::InvalidScale { value } => {
+                write!(f, "scale must be finite and positive, got {value}")
+            }
+            DpError::InvalidProbability { value, expected } => {
+                write!(f, "probability must be {expected}, got {value}")
+            }
+            DpError::BudgetExhausted {
+                requested,
+                remaining,
+            } => write!(
+                f,
+                "privacy budget exhausted: requested {requested} but only {remaining} remains"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_values() {
+        let e = DpError::BudgetExhausted {
+            requested: 2.0,
+            remaining: 0.5,
+        };
+        let s = e.to_string();
+        assert!(s.contains('2'));
+        assert!(s.contains("0.5"));
+
+        assert!(DpError::InvalidEpsilon { value: -1.0 }
+            .to_string()
+            .contains("-1"));
+        assert!(DpError::InvalidProbability {
+            value: 1.5,
+            expected: "in (0, 1]"
+        }
+        .to_string()
+        .contains("(0, 1]"));
+    }
+}

@@ -1,0 +1,287 @@
+//! The Gaussian mechanism and (ε, δ)-differential privacy.
+//!
+//! An extension beyond the paper's Laplace-only pipeline: the Gaussian
+//! mechanism achieves the relaxed *approximate* differential privacy
+//! `(ε, δ)`-DP with noise `N(0, σ²)`, `σ = Δ·√(2·ln(1.25/δ))/ε`
+//! (Dwork & Roth, *The Algorithmic Foundations of Differential Privacy*,
+//! Thm A.1; valid for `ε ∈ (0, 1)`). Its sub-exponential tails make it
+//! preferable when many answers are composed, which is exactly the
+//! many-queries regime of a data-trading broker.
+
+use rand::{Rng, RngExt};
+
+use crate::budget::Epsilon;
+use crate::error::DpError;
+use crate::mechanism::Sensitivity;
+
+/// An approximate differential-privacy guarantee `(ε, δ)`.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ApproxDp {
+    /// The multiplicative budget ε.
+    pub epsilon: f64,
+    /// The additive failure probability δ.
+    pub delta: f64,
+}
+
+impl ApproxDp {
+    /// Creates a guarantee.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DpError::InvalidEpsilon`] unless `epsilon` is finite and
+    /// non-negative, or [`DpError::InvalidProbability`] unless
+    /// `delta ∈ [0, 1)`.
+    pub fn new(epsilon: f64, delta: f64) -> Result<Self, DpError> {
+        if !epsilon.is_finite() || epsilon < 0.0 {
+            return Err(DpError::InvalidEpsilon { value: epsilon });
+        }
+        if !(0.0..1.0).contains(&delta) {
+            return Err(DpError::InvalidProbability {
+                value: delta,
+                expected: "in [0, 1)",
+            });
+        }
+        Ok(ApproxDp { epsilon, delta })
+    }
+
+    /// The pure-DP special case `(ε, 0)`.
+    pub fn pure(epsilon: Epsilon) -> Self {
+        ApproxDp {
+            epsilon: epsilon.value(),
+            delta: 0.0,
+        }
+    }
+
+    /// True when `self` is at least as strong as `other` (both parameters
+    /// no larger).
+    pub fn at_least_as_strong_as(&self, other: &ApproxDp) -> bool {
+        self.epsilon <= other.epsilon && self.delta <= other.delta
+    }
+}
+
+impl std::fmt::Display for ApproxDp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(ε={}, δ={})", self.epsilon, self.delta)
+    }
+}
+
+/// The Gaussian mechanism: adds `N(0, σ²)` noise with
+/// `σ = Δ·√(2·ln(1.25/δ))/ε`.
+///
+/// # Examples
+///
+/// ```
+/// use prc_dp::gaussian::{ApproxDp, GaussianMechanism};
+/// use prc_dp::mechanism::Sensitivity;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), prc_dp::DpError> {
+/// let mechanism = GaussianMechanism::new(ApproxDp::new(0.5, 1e-5)?, Sensitivity::new(1.0)?)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let noisy = mechanism.randomize(100.0, &mut rng);
+/// assert!((noisy - 100.0).abs() < 10.0 * mechanism.sigma());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GaussianMechanism {
+    guarantee: ApproxDp,
+    sensitivity: Sensitivity,
+    sigma: f64,
+}
+
+impl GaussianMechanism {
+    /// Creates the mechanism for an `(ε, δ)` target with `ε ∈ (0, 1)` and
+    /// `δ ∈ (0, 1)` (the classic calibration's validity range).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DpError::InvalidEpsilon`] when `ε ∉ (0, 1)` and
+    /// [`DpError::InvalidProbability`] when `δ ∉ (0, 1)`.
+    pub fn new(guarantee: ApproxDp, sensitivity: Sensitivity) -> Result<Self, DpError> {
+        if !(guarantee.epsilon > 0.0 && guarantee.epsilon < 1.0) {
+            return Err(DpError::InvalidEpsilon {
+                value: guarantee.epsilon,
+            });
+        }
+        if guarantee.delta <= 0.0 {
+            return Err(DpError::InvalidProbability {
+                value: guarantee.delta,
+                expected: "in (0, 1)",
+            });
+        }
+        let sigma = sensitivity.value() * (2.0 * (1.25 / guarantee.delta).ln()).sqrt()
+            / guarantee.epsilon;
+        Ok(GaussianMechanism {
+            guarantee,
+            sensitivity,
+            sigma,
+        })
+    }
+
+    /// The `(ε, δ)` guarantee this mechanism satisfies.
+    pub fn guarantee(&self) -> ApproxDp {
+        self.guarantee
+    }
+
+    /// The configured sensitivity.
+    pub fn sensitivity(&self) -> Sensitivity {
+        self.sensitivity
+    }
+
+    /// The noise standard deviation σ.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Variance of the added noise, σ².
+    pub fn noise_variance(&self) -> f64 {
+        self.sigma * self.sigma
+    }
+
+    /// Perturbs `true_value` with Gaussian noise.
+    pub fn randomize<R: Rng + ?Sized>(&self, true_value: f64, rng: &mut R) -> f64 {
+        true_value + self.sigma * sample_standard_normal(rng)
+    }
+
+    /// `Pr[|noise| ≤ t]` under the Gaussian noise distribution.
+    pub fn central_probability(&self, t: f64) -> f64 {
+        if t < 0.0 {
+            return 0.0;
+        }
+        // erf(t / (σ√2)) via the complementary relation with Φ.
+        erf(t / (self.sigma * std::f64::consts::SQRT_2))
+    }
+}
+
+/// Samples a standard normal deviate (Box–Muller).
+fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.random();
+        let u2: f64 = rng.random();
+        if u1 > f64::MIN_POSITIVE {
+            let r = (-2.0 * u1.ln()).sqrt();
+            return r * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+/// Abramowitz–Stegun 7.1.26 rational approximation of erf (|error| ≤ 1.5e-7).
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn guarantee(e: f64, d: f64) -> ApproxDp {
+        ApproxDp::new(e, d).unwrap()
+    }
+
+    fn sens(v: f64) -> Sensitivity {
+        Sensitivity::new(v).unwrap()
+    }
+
+    #[test]
+    fn approx_dp_validation() {
+        assert!(ApproxDp::new(0.5, 1e-5).is_ok());
+        assert!(ApproxDp::new(-0.1, 1e-5).is_err());
+        assert!(ApproxDp::new(0.5, 1.0).is_err());
+        assert!(ApproxDp::new(0.5, -0.1).is_err());
+        assert!(ApproxDp::new(f64::NAN, 0.1).is_err());
+        let p = ApproxDp::pure(Epsilon::new(0.7).unwrap());
+        assert_eq!(p.delta, 0.0);
+        assert_eq!(p.to_string(), "(ε=0.7, δ=0)");
+    }
+
+    #[test]
+    fn strength_ordering() {
+        let strong = guarantee(0.1, 1e-6);
+        let weak = guarantee(0.5, 1e-4);
+        assert!(strong.at_least_as_strong_as(&weak));
+        assert!(!weak.at_least_as_strong_as(&strong));
+        assert!(strong.at_least_as_strong_as(&strong));
+    }
+
+    #[test]
+    fn sigma_matches_classic_calibration() {
+        let m = GaussianMechanism::new(guarantee(0.5, 1e-5), sens(1.0)).unwrap();
+        let expected = (2.0 * (1.25f64 / 1e-5).ln()).sqrt() / 0.5;
+        assert!((m.sigma() - expected).abs() < 1e-12);
+        assert!((m.noise_variance() - expected * expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn calibration_rejects_out_of_range_epsilon() {
+        assert!(GaussianMechanism::new(guarantee(0.0, 1e-5), sens(1.0)).is_err());
+        // ApproxDp::new itself rejects nothing at ε = 1.0 but the
+        // mechanism's calibration does.
+        assert!(GaussianMechanism::new(guarantee(1.0, 1e-5), sens(1.0)).is_err());
+        assert!(GaussianMechanism::new(ApproxDp::pure(Epsilon::new(0.5).unwrap()), sens(1.0))
+            .is_err());
+    }
+
+    #[test]
+    fn noise_moments_match_sigma() {
+        let m = GaussianMechanism::new(guarantee(0.3, 1e-4), sens(2.0)).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 200_000;
+        let noise: Vec<f64> = (0..n).map(|_| m.randomize(0.0, &mut rng)).collect();
+        let mean = noise.iter().sum::<f64>() / n as f64;
+        let var = noise.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < m.sigma() * 0.02, "mean {mean}");
+        assert!(
+            (var - m.noise_variance()).abs() / m.noise_variance() < 0.02,
+            "var {var}"
+        );
+    }
+
+    #[test]
+    fn central_probability_matches_empirical() {
+        let m = GaussianMechanism::new(guarantee(0.4, 1e-4), sens(1.0)).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 150_000;
+        let noise: Vec<f64> = (0..n).map(|_| m.randomize(0.0, &mut rng)).collect();
+        for t_mult in [0.5, 1.0, 2.0] {
+            let t = t_mult * m.sigma();
+            let empirical = noise.iter().filter(|x| x.abs() <= t).count() as f64 / n as f64;
+            let theory = m.central_probability(t);
+            assert!(
+                (empirical - theory).abs() < 0.006,
+                "t={t}: {empirical} vs {theory}"
+            );
+        }
+        assert_eq!(m.central_probability(-1.0), 0.0);
+    }
+
+    #[test]
+    fn erf_known_values() {
+        // erf(1) ≈ 0.8427007929.
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-6);
+        // The A&S 7.1.26 approximation has |error| ≤ 1.5e-7 everywhere.
+        assert!(erf(0.0).abs() < 1.5e-7);
+        assert!(erf(5.0) > 0.999_999);
+    }
+
+    #[test]
+    fn gaussian_beats_laplace_tails_at_matched_variance() {
+        // At equal variance, the Gaussian keeps more mass near zero for
+        // large deviations — the composition advantage in one number.
+        use crate::laplace::Laplace;
+        let m = GaussianMechanism::new(guarantee(0.5, 1e-5), sens(1.0)).unwrap();
+        let laplace = Laplace::centered((m.noise_variance() / 2.0).sqrt()).unwrap();
+        assert!((laplace.variance() - m.noise_variance()).abs() < 1e-9);
+        let t = 3.0 * m.sigma();
+        assert!(m.central_probability(t) > laplace.central_probability(t));
+    }
+}

@@ -1,0 +1,54 @@
+//! # prc-dp — differential-privacy substrate
+//!
+//! Building blocks for the differentially private range-counting pipeline
+//! of *"Trading Private Range Counting over Big IoT Data"* (Cai & He,
+//! ICDCS 2019):
+//!
+//! * [`laplace`] — the Laplace distribution: sampling, pdf/cdf/quantile,
+//!   and the tail bound `Pr[|Lap(b)| ≤ t] = 1 − e^(−t/b)` that drives the
+//!   paper's perturbation optimizer (§III-B);
+//! * [`mechanism`] — the Laplace mechanism of Dwork et al. and a discrete
+//!   geometric (two-sided geometric) mechanism for integer counts;
+//! * [`budget`] — validated privacy-budget arithmetic and a composition
+//!   accountant;
+//! * [`amplification`] — privacy amplification by sampling (the paper's
+//!   Lemma 3.4, after Kasiviswanathan et al.): a mechanism that is
+//!   ε-differentially private on a Bernoulli(p) sample of the data is
+//!   `ln(1 − p + p·e^ε)`-differentially private on the full data.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use prc_dp::budget::Epsilon;
+//! use prc_dp::mechanism::{LaplaceMechanism, Mechanism, Sensitivity};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), prc_dp::DpError> {
+//! let mechanism = LaplaceMechanism::new(Epsilon::new(1.0)?, Sensitivity::new(1.0)?)?;
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let noisy = mechanism.randomize(42.0, &mut rng);
+//! assert!(noisy.is_finite());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod amplification;
+pub mod budget;
+pub mod composition;
+pub mod error;
+pub mod exponential;
+pub mod gaussian;
+pub mod laplace;
+pub mod mechanism;
+pub mod renyi;
+
+pub use budget::{BudgetAccountant, Epsilon};
+pub use composition::AdvancedAccountant;
+pub use error::DpError;
+pub use exponential::ExponentialMechanism;
+pub use gaussian::{ApproxDp, GaussianMechanism};
+pub use laplace::Laplace;
+pub use mechanism::{GeometricMechanism, LaplaceMechanism, Mechanism, Sensitivity};

@@ -1,0 +1,225 @@
+//! The base station: per-node sample sets and top-up orchestration.
+
+use std::collections::BTreeMap;
+
+use crate::message::{NodeId, SampleEntry, SampleMessage};
+
+/// The accumulated sample state for one node, as known to the base station.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct NodeSample {
+    /// The contributing node.
+    pub node_id: NodeId,
+    /// Size `n_i` of the node's full local dataset.
+    pub population_size: usize,
+    /// Cumulative sampling probability the node has reached.
+    pub probability: f64,
+    /// All received entries, sorted by rank, no duplicates.
+    entries: Vec<SampleEntry>,
+}
+
+impl NodeSample {
+    /// The received entries, sorted by rank.
+    pub fn entries(&self) -> &[SampleEntry] {
+        &self.entries
+    }
+
+    /// Number of samples held for this node.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no samples have been received.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn merge(&mut self, message: SampleMessage) {
+        debug_assert_eq!(self.node_id, message.node_id);
+        self.population_size = message.population_size;
+        self.probability = self.probability.max(message.probability);
+        self.entries.extend(message.entries);
+        self.entries.sort_by_key(|e| e.rank);
+        self.entries.dedup_by_key(|e| e.rank);
+    }
+}
+
+/// Collects sample messages and exposes per-node sample sets.
+///
+/// The base station is the component that *"opens the data access API to
+/// data brokers"* (§II-A): brokers read [`BaseStation::node_samples`] to
+/// run the RankCounting estimator, and call [`BaseStation::deficit_nodes`]
+/// to learn which nodes must top up before a target sampling probability
+/// is met.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BaseStation {
+    samples: BTreeMap<NodeId, NodeSample>,
+}
+
+impl BaseStation {
+    /// Creates an empty base station.
+    pub fn new() -> Self {
+        BaseStation::default()
+    }
+
+    /// Ingests one sample message, merging it into the node's sample set.
+    pub fn ingest(&mut self, message: SampleMessage) {
+        let node_id = message.node_id;
+        match self.samples.get_mut(&node_id) {
+            Some(existing) => existing.merge(message),
+            None => {
+                let mut fresh = NodeSample {
+                    node_id,
+                    population_size: message.population_size,
+                    probability: 0.0,
+                    entries: Vec::new(),
+                };
+                fresh.merge(message);
+                self.samples.insert(node_id, fresh);
+            }
+        }
+    }
+
+    /// Number of nodes that have reported at least once.
+    pub fn node_count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Total population `n = Σ n_i` across reporting nodes.
+    pub fn total_population(&self) -> usize {
+        self.samples.values().map(|s| s.population_size).sum()
+    }
+
+    /// Total number of samples held.
+    pub fn total_samples(&self) -> usize {
+        self.samples.values().map(NodeSample::len).sum()
+    }
+
+    /// The minimum cumulative sampling probability across reporting
+    /// nodes, or `0` when no node has reported.
+    ///
+    /// This is the probability the RankCounting estimator may assume for
+    /// the whole network.
+    pub fn effective_probability(&self) -> f64 {
+        self.samples
+            .values()
+            .map(|s| s.probability)
+            .fold(f64::INFINITY, f64::min)
+            .clamp(0.0, 1.0)
+            .min(if self.samples.is_empty() { 0.0 } else { 1.0 })
+    }
+
+    /// Per-node sample sets, in node-id order.
+    pub fn node_samples(&self) -> impl Iterator<Item = &NodeSample> {
+        self.samples.values()
+    }
+
+    /// The sample set of one node, if it has reported.
+    pub fn node_sample(&self, node_id: NodeId) -> Option<&NodeSample> {
+        self.samples.get(&node_id)
+    }
+
+    /// Nodes whose cumulative probability is below `target` (the set that
+    /// must receive a top-up request before a query needing `target` can
+    /// be answered).
+    pub fn deficit_nodes(&self, target: f64) -> Vec<NodeId> {
+        self.samples
+            .values()
+            .filter(|s| s.probability < target)
+            .map(|s| s.node_id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(node: u32, n: usize, p: f64, ranks: &[u32]) -> SampleMessage {
+        SampleMessage {
+            node_id: NodeId(node),
+            population_size: n,
+            probability: p,
+            entries: ranks
+                .iter()
+                .map(|&r| SampleEntry {
+                    value: r as f64,
+                    rank: r,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn ingest_creates_and_merges() {
+        let mut bs = BaseStation::new();
+        bs.ingest(msg(1, 100, 0.1, &[5, 2]));
+        bs.ingest(msg(1, 100, 0.3, &[7]));
+        bs.ingest(msg(2, 50, 0.3, &[1]));
+
+        assert_eq!(bs.node_count(), 2);
+        assert_eq!(bs.total_population(), 150);
+        assert_eq!(bs.total_samples(), 4);
+
+        let s = bs.node_sample(NodeId(1)).unwrap();
+        assert_eq!(s.probability, 0.3);
+        let ranks: Vec<u32> = s.entries().iter().map(|e| e.rank).collect();
+        assert_eq!(ranks, vec![2, 5, 7], "entries must be sorted by rank");
+    }
+
+    #[test]
+    fn duplicate_ranks_are_deduplicated() {
+        let mut bs = BaseStation::new();
+        bs.ingest(msg(1, 10, 0.1, &[3, 4]));
+        bs.ingest(msg(1, 10, 0.2, &[4, 5]));
+        assert_eq!(bs.node_sample(NodeId(1)).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn effective_probability_is_the_minimum() {
+        let mut bs = BaseStation::new();
+        assert_eq!(bs.effective_probability(), 0.0);
+        bs.ingest(msg(1, 10, 0.5, &[]));
+        bs.ingest(msg(2, 10, 0.2, &[]));
+        assert_eq!(bs.effective_probability(), 0.2);
+    }
+
+    #[test]
+    fn probability_never_decreases_on_merge() {
+        let mut bs = BaseStation::new();
+        bs.ingest(msg(1, 10, 0.5, &[]));
+        bs.ingest(msg(1, 10, 0.2, &[])); // stale message
+        assert_eq!(bs.node_sample(NodeId(1)).unwrap().probability, 0.5);
+    }
+
+    #[test]
+    fn deficit_nodes_lists_lagging_nodes() {
+        let mut bs = BaseStation::new();
+        bs.ingest(msg(1, 10, 0.5, &[]));
+        bs.ingest(msg(2, 10, 0.1, &[]));
+        bs.ingest(msg(3, 10, 0.3, &[]));
+        let mut lagging = bs.deficit_nodes(0.4);
+        lagging.sort();
+        assert_eq!(lagging, vec![NodeId(2), NodeId(3)]);
+        assert!(bs.deficit_nodes(0.05).is_empty());
+    }
+
+    #[test]
+    fn node_samples_iterates_in_id_order() {
+        let mut bs = BaseStation::new();
+        bs.ingest(msg(9, 1, 0.1, &[]));
+        bs.ingest(msg(2, 1, 0.1, &[]));
+        bs.ingest(msg(5, 1, 0.1, &[]));
+        let ids: Vec<u32> = bs.node_samples().map(|s| s.node_id.0).collect();
+        assert_eq!(ids, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn empty_station_defaults() {
+        let bs = BaseStation::new();
+        assert_eq!(bs.node_count(), 0);
+        assert_eq!(bs.total_population(), 0);
+        assert_eq!(bs.total_samples(), 0);
+        assert!(bs.node_sample(NodeId(1)).is_none());
+        assert!(bs.deficit_nodes(0.5).is_empty());
+    }
+}

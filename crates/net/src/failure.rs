@@ -1,0 +1,234 @@
+//! Failure injection: node dropout and message loss.
+//!
+//! Real IoT deployments lose nodes and drop radio frames. A
+//! [`FailurePlan`] injects both into the simulated network so the
+//! estimator's degradation can be measured (see the
+//! `distributed_network` example and the integration tests):
+//!
+//! * **node dropout** — a node dies before reporting; the base station
+//!   simply never hears from it, so the global estimate misses that
+//!   node's contribution entirely;
+//! * **message loss** — individual sample batches are lost with some
+//!   probability. Under [`LossMode::Retransmit`] the sender repeats until
+//!   delivery (extra cost, unchanged accuracy); under [`LossMode::Drop`]
+//!   the batch is silently gone (the node believes it shipped, so the
+//!   station's sample under-represents the node and the estimate biases
+//!   low).
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::message::NodeId;
+
+/// What happens to a lost message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum LossMode {
+    /// The sender retransmits until the message is delivered; loss costs
+    /// extra transmissions but never data.
+    Retransmit,
+    /// The message is silently dropped; the receiver never sees it.
+    Drop,
+}
+
+/// A deterministic, seeded failure schedule.
+#[derive(Debug)]
+pub struct FailurePlan {
+    dropout_probability: f64,
+    dead_nodes: BTreeSet<NodeId>,
+    decided: BTreeMap<NodeId, bool>,
+    message_loss_probability: f64,
+    loss_mode: LossMode,
+    rng: StdRng,
+}
+
+impl FailurePlan {
+    /// A plan with no failures.
+    pub fn none() -> Self {
+        FailurePlan::new(0.0, 0.0, LossMode::Retransmit, 0)
+    }
+
+    /// Creates a plan.
+    ///
+    /// * `dropout_probability` — chance that each node is dead for the
+    ///   whole simulation (decided once per node, lazily);
+    /// * `message_loss_probability` — chance that each message
+    ///   transmission attempt is lost;
+    /// * `loss_mode` — what happens on loss;
+    /// * `seed` — RNG seed; the plan is deterministic given the seed and
+    ///   the order of queries.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both probabilities are in `[0, 1)` (a plan that loses
+    /// everything forever would deadlock retransmission).
+    pub fn new(
+        dropout_probability: f64,
+        message_loss_probability: f64,
+        loss_mode: LossMode,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            (0.0..1.0).contains(&dropout_probability),
+            "dropout probability must be in [0, 1), got {dropout_probability}"
+        );
+        assert!(
+            (0.0..1.0).contains(&message_loss_probability),
+            "message loss probability must be in [0, 1), got {message_loss_probability}"
+        );
+        FailurePlan {
+            dropout_probability,
+            dead_nodes: BTreeSet::new(),
+            decided: BTreeMap::new(),
+            message_loss_probability,
+            loss_mode,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Marks a specific node dead, regardless of the dropout probability.
+    pub fn kill_node(&mut self, node_id: NodeId) {
+        self.dead_nodes.insert(node_id);
+        self.decided.insert(node_id, true);
+    }
+
+    /// The configured loss mode.
+    pub fn loss_mode(&self) -> LossMode {
+        self.loss_mode
+    }
+
+    /// True when the node is dead. Decided once per node (lazily) and
+    /// cached, so repeated queries agree.
+    pub fn node_is_dead(&mut self, node_id: NodeId) -> bool {
+        if let Some(&dead) = self.decided.get(&node_id) {
+            return dead;
+        }
+        let dead =
+            self.dead_nodes.contains(&node_id) || self.rng.random::<f64>() < self.dropout_probability;
+        self.decided.insert(node_id, dead);
+        if dead {
+            self.dead_nodes.insert(node_id);
+        }
+        dead
+    }
+
+    /// Number of transmission attempts needed to deliver one message, or
+    /// `None` when the message is permanently dropped.
+    ///
+    /// Under [`LossMode::Retransmit`] this is a geometric number of
+    /// attempts (≥ 1); under [`LossMode::Drop`] it is `Some(1)` on
+    /// success and `None` on loss.
+    pub fn transmission_attempts(&mut self) -> Option<u32> {
+        match self.loss_mode {
+            LossMode::Retransmit => {
+                let mut attempts = 1;
+                while self.rng.random::<f64>() < self.message_loss_probability {
+                    attempts += 1;
+                }
+                Some(attempts)
+            }
+            LossMode::Drop => {
+                if self.rng.random::<f64>() < self.message_loss_probability {
+                    None
+                } else {
+                    Some(1)
+                }
+            }
+        }
+    }
+
+    /// Nodes known to be dead so far.
+    pub fn dead_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.dead_nodes.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_fails() {
+        let mut plan = FailurePlan::none();
+        for i in 0..100 {
+            assert!(!plan.node_is_dead(NodeId(i)));
+            assert_eq!(plan.transmission_attempts(), Some(1));
+        }
+    }
+
+    #[test]
+    fn kill_node_is_respected() {
+        let mut plan = FailurePlan::none();
+        plan.kill_node(NodeId(3));
+        assert!(plan.node_is_dead(NodeId(3)));
+        assert!(!plan.node_is_dead(NodeId(4)));
+        assert_eq!(plan.dead_nodes().collect::<Vec<_>>(), vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn dropout_decision_is_cached() {
+        let mut plan = FailurePlan::new(0.5, 0.0, LossMode::Retransmit, 42);
+        let first: Vec<bool> = (0..50).map(|i| plan.node_is_dead(NodeId(i))).collect();
+        let second: Vec<bool> = (0..50).map(|i| plan.node_is_dead(NodeId(i))).collect();
+        assert_eq!(first, second);
+        assert!(first.iter().any(|&d| d), "expected some deaths at 50%");
+        assert!(first.iter().any(|&d| !d), "expected some survivors at 50%");
+    }
+
+    #[test]
+    fn dropout_rate_is_statistical() {
+        let mut plan = FailurePlan::new(0.3, 0.0, LossMode::Retransmit, 7);
+        let dead = (0..10_000)
+            .filter(|&i| plan.node_is_dead(NodeId(i)))
+            .count();
+        let rate = dead as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn retransmit_attempts_are_geometric() {
+        let mut plan = FailurePlan::new(0.0, 0.5, LossMode::Retransmit, 9);
+        let n = 20_000;
+        let total: u64 = (0..n)
+            .map(|_| u64::from(plan.transmission_attempts().unwrap()))
+            .sum();
+        // Mean attempts = 1/(1-loss) = 2.
+        let mean = total as f64 / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn drop_mode_loses_messages() {
+        let mut plan = FailurePlan::new(0.0, 0.4, LossMode::Drop, 11);
+        let n = 20_000;
+        let delivered = (0..n)
+            .filter(|_| plan.transmission_attempts().is_some())
+            .count();
+        let rate = delivered as f64 / n as f64;
+        assert!((rate - 0.6).abs() < 0.02, "delivery rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout probability")]
+    fn dropout_one_panics() {
+        let _ = FailurePlan::new(1.0, 0.0, LossMode::Drop, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "message loss probability")]
+    fn loss_one_panics() {
+        let _ = FailurePlan::new(0.0, 1.0, LossMode::Drop, 0);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = FailurePlan::new(0.2, 0.2, LossMode::Drop, 5);
+        let mut b = FailurePlan::new(0.2, 0.2, LossMode::Drop, 5);
+        for i in 0..100 {
+            assert_eq!(a.node_is_dead(NodeId(i)), b.node_is_dead(NodeId(i)));
+            assert_eq!(a.transmission_attempts(), b.transmission_attempts());
+        }
+    }
+}

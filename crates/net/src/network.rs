@@ -1,0 +1,648 @@
+//! Network drivers and communication-cost accounting.
+//!
+//! [`FlatNetwork`] implements the paper's flat model — every node talks
+//! directly to the base station — with a deterministic, single-threaded
+//! round protocol. [`ThreadedNetwork`] runs the same protocol with one OS
+//! thread per node and crossbeam channels, producing byte-identical sample
+//! state for the same seed (per-node RNGs make the outcome independent of
+//! scheduling). Both drivers meter traffic through a shared
+//! [`CostMeter`].
+
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use prc_data::partition::{partition_values, PartitionStrategy};
+use prc_data::record::{AirQualityIndex, Dataset};
+
+use crate::base_station::BaseStation;
+use crate::failure::{FailurePlan, LossMode};
+use crate::message::{Message, NodeId, SampleMessage};
+use crate::node::SensorNode;
+use crate::trace::{TraceEvent, Tracer};
+
+/// Aggregate communication counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CostSnapshot {
+    /// Total messages transmitted (including retransmissions and hops).
+    pub messages: u64,
+    /// Messages that piggybacked on routine traffic (heartbeat rule).
+    pub free_messages: u64,
+    /// Total sample entries shipped.
+    pub samples: u64,
+    /// Total payload bytes transmitted.
+    pub bytes: u64,
+    /// Messages permanently lost (only under `LossMode::Drop`).
+    pub lost_messages: u64,
+}
+
+impl CostSnapshot {
+    /// Messages that incurred real cost (not piggybacked).
+    pub fn chargeable_messages(&self) -> u64 {
+        self.messages - self.free_messages
+    }
+}
+
+/// A thread-safe communication cost meter.
+///
+/// Cloning produces a handle to the same underlying counters. In
+/// addition to the aggregate [`CostSnapshot`], the meter tracks bytes
+/// transmitted *per node*, which the energy model
+/// ([`crate::energy`]) turns into per-node battery drain.
+#[derive(Debug, Clone, Default)]
+pub struct CostMeter {
+    inner: Arc<Mutex<MeterState>>,
+}
+
+#[derive(Debug, Default)]
+struct MeterState {
+    totals: CostSnapshot,
+    per_node_bytes: std::collections::BTreeMap<NodeId, u64>,
+}
+
+impl CostMeter {
+    /// Creates a meter with zeroed counters.
+    pub fn new() -> Self {
+        CostMeter::default()
+    }
+
+    /// Records one delivered message that crossed `hops` links and needed
+    /// `attempts` transmissions per link.
+    ///
+    /// Per-node accounting attributes the full (hop-multiplied) byte cost
+    /// to the originating node, matching the convention that relaying
+    /// energy is billed to the flow that caused it.
+    pub fn record(&self, message: &Message, hops: u32, attempts: u32) {
+        let mut inner = self.inner.lock();
+        let transmissions = u64::from(hops) * u64::from(attempts);
+        inner.totals.messages += transmissions;
+        if message.is_free() {
+            inner.totals.free_messages += transmissions;
+        }
+        let bytes = message.wire_size() as u64 * transmissions;
+        inner.totals.bytes += bytes;
+        *inner.per_node_bytes.entry(message.node_id()).or_insert(0) += bytes;
+        if let Message::Sample(m) = message {
+            inner.totals.samples += m.entries.len() as u64;
+        }
+    }
+
+    /// Records a permanently lost message (its transmission still cost bytes).
+    pub fn record_lost(&self, message: &Message) {
+        let mut inner = self.inner.lock();
+        inner.totals.messages += 1;
+        inner.totals.lost_messages += 1;
+        let bytes = message.wire_size() as u64;
+        inner.totals.bytes += bytes;
+        *inner.per_node_bytes.entry(message.node_id()).or_insert(0) += bytes;
+    }
+
+    /// Current counter values.
+    pub fn snapshot(&self) -> CostSnapshot {
+        self.inner.lock().totals
+    }
+
+    /// Bytes attributed to each node so far.
+    pub fn per_node_bytes(&self) -> std::collections::BTreeMap<NodeId, u64> {
+        self.inner.lock().per_node_bytes.clone()
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        *self.inner.lock() = MeterState::default();
+    }
+}
+
+/// The paper's flat network: `k` sensor nodes reporting directly to one
+/// base station.
+#[derive(Debug)]
+pub struct FlatNetwork {
+    nodes: Vec<SensorNode>,
+    station: BaseStation,
+    meter: CostMeter,
+    failure: FailurePlan,
+    tracer: Option<Tracer>,
+}
+
+impl FlatNetwork {
+    /// Builds a network with one node per partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions` is empty.
+    pub fn from_partitions(partitions: Vec<Vec<f64>>, seed: u64) -> Self {
+        assert!(!partitions.is_empty(), "network needs at least one node");
+        let nodes = partitions
+            .into_iter()
+            .enumerate()
+            .map(|(i, data)| SensorNode::new(NodeId(i as u32), data, seed))
+            .collect();
+        FlatNetwork {
+            nodes,
+            station: BaseStation::new(),
+            meter: CostMeter::new(),
+            failure: FailurePlan::none(),
+            tracer: None,
+        }
+    }
+
+    /// Builds a network over one air-quality index of a dataset,
+    /// partitioned across `k` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn from_dataset(
+        dataset: &Dataset,
+        index: AirQualityIndex,
+        k: usize,
+        strategy: PartitionStrategy,
+        seed: u64,
+    ) -> Self {
+        let values = dataset.values(index);
+        FlatNetwork::from_partitions(partition_values(&values, k, strategy), seed)
+    }
+
+    /// Installs a failure plan (replacing any previous plan).
+    pub fn set_failure_plan(&mut self, plan: FailurePlan) {
+        self.failure = plan;
+    }
+
+    /// Attaches an event tracer; subsequent rounds emit [`TraceEvent`]s.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Dynamic membership: adds a node with fresh local data and returns
+    /// its id. The node starts unsampled; it catches up at the next
+    /// collection round, after which the global estimator automatically
+    /// covers the grown population (its `k` and `n` come from the base
+    /// station's live state).
+    pub fn add_node(&mut self, data: Vec<f64>, seed: u64) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(SensorNode::new(id, data, seed));
+        id
+    }
+
+    /// Number of nodes (dead or alive).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total data elements across all nodes, `n = |D|`.
+    pub fn total_data_size(&self) -> usize {
+        self.nodes.iter().map(SensorNode::population_size).sum()
+    }
+
+    /// The base station's view of collected samples.
+    pub fn station(&self) -> &BaseStation {
+        &self.station
+    }
+
+    /// The cost meter.
+    pub fn meter(&self) -> &CostMeter {
+        &self.meter
+    }
+
+    /// Read access to the nodes (ground-truth computations in tests).
+    pub fn nodes(&self) -> &[SensorNode] {
+        &self.nodes
+    }
+
+    /// Exact global range count `γ(l, u, D)` — ground truth for evaluation.
+    pub fn exact_range_count(&self, l: f64, u: f64) -> usize {
+        self.nodes.iter().map(|n| n.exact_range_count(l, u)).sum()
+    }
+
+    /// Runs one collection round: every live node raises its cumulative
+    /// sampling probability to `target` and ships the new batch.
+    ///
+    /// Dead nodes stay silent. Message loss follows the installed
+    /// [`FailurePlan`]. Returns the number of sample entries that reached
+    /// the base station this round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is not in `(0, 1]`.
+    pub fn collect_samples(&mut self, target: f64) -> usize {
+        let mut delivered = 0;
+        for node in &mut self.nodes {
+            if self.failure.node_is_dead(node.id()) {
+                if let Some(tracer) = &self.tracer {
+                    tracer.record(TraceEvent::NodeSilent { node: node.id() });
+                }
+                continue;
+            }
+            if node.probability() < target {
+                let request = Message::TopUpRequest {
+                    node_id: node.id(),
+                    target_probability: target,
+                };
+                // Downlink request; retransmitted until heard even in Drop
+                // mode (control traffic is acked in any real protocol).
+                self.meter.record(&request, 1, 1);
+                if let Some(tracer) = &self.tracer {
+                    tracer.record(TraceEvent::TopUpRequested {
+                        node: node.id(),
+                        target,
+                    });
+                }
+            } else {
+                continue;
+            }
+            let batch = node.sample_to(target);
+            let message = Message::Sample(batch.clone());
+            match self.failure.transmission_attempts() {
+                Some(attempts) => {
+                    self.meter.record(&message, 1, attempts);
+                    delivered += batch.entries.len();
+                    if let Some(tracer) = &self.tracer {
+                        tracer.record(TraceEvent::BatchDelivered {
+                            node: batch.node_id,
+                            entries: batch.entries.len(),
+                            attempts,
+                        });
+                    }
+                    self.station.ingest(batch);
+                }
+                None => {
+                    self.meter.record_lost(&message);
+                    if let Some(tracer) = &self.tracer {
+                        tracer.record(TraceEvent::BatchLost {
+                            node: batch.node_id,
+                            entries: batch.entries.len(),
+                        });
+                    }
+                    // LossMode::Drop: record that the node reported (so the
+                    // station knows its population and probability claim)
+                    // but without the lost entries.
+                    if self.failure.loss_mode() == LossMode::Drop {
+                        self.station.ingest(SampleMessage {
+                            entries: Vec::new(),
+                            ..batch
+                        });
+                    }
+                }
+            }
+        }
+        if let Some(tracer) = &self.tracer {
+            let round = tracer.next_round();
+            tracer.record(TraceEvent::RoundCompleted {
+                round,
+                target,
+                delivered,
+            });
+        }
+        delivered
+    }
+}
+
+/// Commands sent to node worker threads.
+enum Command {
+    SampleTo(f64),
+    Shutdown,
+}
+
+/// A threaded driver: one OS thread per node, crossbeam channels for both
+/// directions, and the same deterministic per-node sampling as
+/// [`FlatNetwork`].
+///
+/// For the same construction parameters, the base-station state after
+/// [`ThreadedNetwork::collect_samples`] is identical to the flat driver's
+/// (each node owns an independent RNG seeded from the shared seed and the
+/// node id, so thread interleaving cannot change what is sampled).
+#[derive(Debug)]
+pub struct ThreadedNetwork {
+    command_txs: Vec<Sender<Command>>,
+    sample_rx: Receiver<SampleMessage>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    station: BaseStation,
+    meter: CostMeter,
+    node_count: usize,
+    total_data_size: usize,
+}
+
+impl ThreadedNetwork {
+    /// Spawns one worker thread per partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions` is empty.
+    pub fn from_partitions(partitions: Vec<Vec<f64>>, seed: u64) -> Self {
+        assert!(!partitions.is_empty(), "network needs at least one node");
+        let node_count = partitions.len();
+        let total_data_size = partitions.iter().map(Vec::len).sum();
+        let (sample_tx, sample_rx) = unbounded::<SampleMessage>();
+        let mut command_txs = Vec::with_capacity(node_count);
+        let mut handles = Vec::with_capacity(node_count);
+
+        for (i, data) in partitions.into_iter().enumerate() {
+            let (cmd_tx, cmd_rx) = unbounded::<Command>();
+            let sample_tx = sample_tx.clone();
+            let handle = std::thread::spawn(move || {
+                let mut node = SensorNode::new(NodeId(i as u32), data, seed);
+                while let Ok(command) = cmd_rx.recv() {
+                    match command {
+                        Command::SampleTo(p) => {
+                            let batch = node.sample_to(p);
+                            if sample_tx.send(batch).is_err() {
+                                break;
+                            }
+                        }
+                        Command::Shutdown => break,
+                    }
+                }
+            });
+            command_txs.push(cmd_tx);
+            handles.push(handle);
+        }
+
+        ThreadedNetwork {
+            command_txs,
+            sample_rx,
+            handles,
+            station: BaseStation::new(),
+            meter: CostMeter::new(),
+            node_count,
+            total_data_size,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Total data elements across all nodes.
+    pub fn total_data_size(&self) -> usize {
+        self.total_data_size
+    }
+
+    /// The base station's view of collected samples.
+    pub fn station(&self) -> &BaseStation {
+        &self.station
+    }
+
+    /// The cost meter.
+    pub fn meter(&self) -> &CostMeter {
+        &self.meter
+    }
+
+    /// Broadcasts a top-up to `target` and gathers every node's batch.
+    ///
+    /// Returns the number of sample entries received this round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is not in `(0, 1]`, or if a worker thread has
+    /// died.
+    pub fn collect_samples(&mut self, target: f64) -> usize {
+        assert!(
+            target > 0.0 && target <= 1.0,
+            "sampling probability must be in (0, 1], got {target}"
+        );
+        for (i, tx) in self.command_txs.iter().enumerate() {
+            let request = Message::TopUpRequest {
+                node_id: NodeId(i as u32),
+                target_probability: target,
+            };
+            self.meter.record(&request, 1, 1);
+            tx.send(Command::SampleTo(target))
+                .expect("node worker thread died");
+        }
+        let mut delivered = 0;
+        for _ in 0..self.node_count {
+            let batch = self
+                .sample_rx
+                .recv()
+                .expect("node worker thread died before replying");
+            let message = Message::Sample(batch.clone());
+            self.meter.record(&message, 1, 1);
+            delivered += batch.entries.len();
+            self.station.ingest(batch);
+        }
+        delivered
+    }
+}
+
+impl Drop for ThreadedNetwork {
+    fn drop(&mut self) {
+        for tx in &self.command_txs {
+            let _ = tx.send(Command::Shutdown);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failure::LossMode;
+
+    fn partitions(k: usize, per_node: usize) -> Vec<Vec<f64>> {
+        (0..k)
+            .map(|i| {
+                (0..per_node)
+                    .map(|j| (i * per_node + j) as f64)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn flat_network_collects_from_all_nodes() {
+        let mut net = FlatNetwork::from_partitions(partitions(4, 100), 7);
+        assert_eq!(net.node_count(), 4);
+        assert_eq!(net.total_data_size(), 400);
+        let delivered = net.collect_samples(0.5);
+        assert!(delivered > 0);
+        assert_eq!(net.station().node_count(), 4);
+        assert_eq!(net.station().total_population(), 400);
+        assert_eq!(net.station().effective_probability(), 0.5);
+        assert_eq!(net.station().total_samples(), delivered);
+    }
+
+    #[test]
+    fn top_up_rounds_accumulate() {
+        let mut net = FlatNetwork::from_partitions(partitions(2, 1_000), 3);
+        let first = net.collect_samples(0.1);
+        let second = net.collect_samples(0.4);
+        assert_eq!(net.station().total_samples(), first + second);
+        assert_eq!(net.station().effective_probability(), 0.4);
+        // Re-collecting at a lower probability moves nothing.
+        let third = net.collect_samples(0.2);
+        assert_eq!(third, 0);
+    }
+
+    #[test]
+    fn meter_counts_messages_and_bytes() {
+        let mut net = FlatNetwork::from_partitions(partitions(3, 200), 5);
+        net.collect_samples(0.3);
+        let cost = net.meter().snapshot();
+        // 3 top-up requests + 3 sample messages minimum.
+        assert!(cost.messages >= 6);
+        assert!(cost.bytes > 0);
+        assert_eq!(cost.samples, net.station().total_samples() as u64);
+        net.meter().reset();
+        assert_eq!(net.meter().snapshot(), CostSnapshot::default());
+    }
+
+    #[test]
+    fn heartbeat_rule_marks_small_batches_free() {
+        // Tiny sampling probability => tiny batches => free messages.
+        let mut net = FlatNetwork::from_partitions(partitions(2, 50), 5);
+        net.collect_samples(0.05);
+        let cost = net.meter().snapshot();
+        assert!(cost.free_messages > 0);
+    }
+
+    #[test]
+    fn exact_count_sums_over_nodes() {
+        let net = FlatNetwork::from_partitions(vec![vec![1.0, 2.0], vec![2.0, 3.0]], 0);
+        assert_eq!(net.exact_range_count(2.0, 3.0), 3);
+        assert_eq!(net.exact_range_count(0.0, 0.5), 0);
+    }
+
+    #[test]
+    fn dead_nodes_stay_silent() {
+        let mut net = FlatNetwork::from_partitions(partitions(4, 100), 9);
+        let mut plan = FailurePlan::none();
+        plan.kill_node(NodeId(0));
+        plan.kill_node(NodeId(2));
+        net.set_failure_plan(plan);
+        net.collect_samples(0.5);
+        assert_eq!(net.station().node_count(), 2);
+        assert_eq!(net.station().total_population(), 200);
+    }
+
+    #[test]
+    fn drop_mode_loses_batches_but_records_population() {
+        let mut net = FlatNetwork::from_partitions(partitions(50, 100), 1);
+        net.set_failure_plan(FailurePlan::new(0.0, 0.5, LossMode::Drop, 2));
+        net.collect_samples(0.5);
+        let cost = net.meter().snapshot();
+        assert!(cost.lost_messages > 0, "expected losses at 50%");
+        // Every node still registered (empty batches count the population).
+        assert_eq!(net.station().node_count(), 50);
+        // But fewer samples arrived than were sent.
+        assert!((net.station().total_samples() as u64) < cost.samples + 2_000);
+    }
+
+    #[test]
+    fn retransmit_mode_costs_more_but_loses_nothing() {
+        let mk = |loss: f64, seed| {
+            let mut net = FlatNetwork::from_partitions(partitions(5, 500), seed);
+            if loss > 0.0 {
+                net.set_failure_plan(FailurePlan::new(0.0, loss, LossMode::Retransmit, 4));
+            }
+            net.collect_samples(0.4);
+            (
+                net.meter().snapshot().messages,
+                net.station().total_samples(),
+            )
+        };
+        let (clean_msgs, clean_samples) = mk(0.0, 21);
+        let (lossy_msgs, lossy_samples) = mk(0.4, 21);
+        assert_eq!(clean_samples, lossy_samples, "retransmit must not lose data");
+        assert!(lossy_msgs > clean_msgs, "retransmissions must cost messages");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_network_panics() {
+        let _ = FlatNetwork::from_partitions(vec![], 0);
+    }
+
+    #[test]
+    fn dynamic_membership_catches_up_on_the_next_round() {
+        let mut net = FlatNetwork::from_partitions(partitions(3, 200), 5);
+        net.collect_samples(0.4);
+        assert_eq!(net.station().node_count(), 3);
+        assert_eq!(net.station().effective_probability(), 0.4);
+
+        // A new device joins with fresh data.
+        let id = net.add_node((600..800).map(f64::from).collect(), 5);
+        assert_eq!(id, NodeId(3));
+        assert_eq!(net.node_count(), 4);
+        assert_eq!(net.total_data_size(), 800);
+        // The station lags until the next round…
+        assert_eq!(net.station().node_count(), 3);
+        // …then the newcomer catches up to the same cumulative p.
+        net.collect_samples(0.4);
+        assert_eq!(net.station().node_count(), 4);
+        assert_eq!(net.station().effective_probability(), 0.4);
+        assert_eq!(net.station().total_population(), 800);
+    }
+
+    #[test]
+    fn tracer_observes_a_round() {
+        use crate::trace::{TraceEvent, Tracer};
+        let mut net = FlatNetwork::from_partitions(partitions(3, 100), 9);
+        let mut plan = FailurePlan::none();
+        plan.kill_node(NodeId(1));
+        net.set_failure_plan(plan);
+        let tracer = Tracer::new(64);
+        net.set_tracer(tracer.clone());
+        let delivered = net.collect_samples(0.3);
+
+        let counts = tracer.counts_by_kind();
+        assert_eq!(counts["node_silent"], 1);
+        assert_eq!(counts["top_up_requested"], 2);
+        assert_eq!(counts["batch_delivered"], 2);
+        assert_eq!(counts["round_completed"], 1);
+        // The round summary carries the delivered total.
+        let last = tracer.events().pop().unwrap();
+        match last {
+            TraceEvent::RoundCompleted {
+                round,
+                target,
+                delivered: d,
+            } => {
+                assert_eq!(round, 0);
+                assert_eq!(target, 0.3);
+                assert_eq!(d, delivered);
+            }
+            other => panic!("unexpected final event {other:?}"),
+        }
+        // A second, lower-target round only emits silence + summary.
+        tracer.clear();
+        net.collect_samples(0.1);
+        let counts = tracer.counts_by_kind();
+        assert_eq!(counts.get("batch_delivered"), None);
+        assert_eq!(counts["round_completed"], 1);
+    }
+
+    #[test]
+    fn threaded_matches_flat_exactly() {
+        let parts = partitions(8, 400);
+        let mut flat = FlatNetwork::from_partitions(parts.clone(), 77);
+        flat.collect_samples(0.25);
+        flat.collect_samples(0.6);
+
+        let mut threaded = ThreadedNetwork::from_partitions(parts, 77);
+        threaded.collect_samples(0.25);
+        threaded.collect_samples(0.6);
+
+        assert_eq!(flat.station(), threaded.station());
+        assert_eq!(threaded.node_count(), 8);
+        assert_eq!(threaded.total_data_size(), 3_200);
+    }
+
+    #[test]
+    fn threaded_meter_counts() {
+        let mut net = ThreadedNetwork::from_partitions(partitions(3, 100), 1);
+        let delivered = net.collect_samples(0.5);
+        let cost = net.meter().snapshot();
+        assert_eq!(cost.samples, delivered as u64);
+        assert_eq!(cost.messages, 6); // 3 requests + 3 batches
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in (0, 1]")]
+    fn threaded_rejects_bad_probability() {
+        let mut net = ThreadedNetwork::from_partitions(partitions(1, 10), 1);
+        net.collect_samples(0.0);
+    }
+}

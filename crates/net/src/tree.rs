@@ -1,0 +1,312 @@
+//! The general tree model (§III-A: *"algorithms on flat models can be
+//! easily extended to a general tree model"*).
+//!
+//! Nodes are arranged in a balanced d-ary aggregation tree rooted at the
+//! base station. Two protocols run over it:
+//!
+//! * **sample forwarding** — each node's sample batch is relayed hop by
+//!   hop to the root, so its transmission cost is multiplied by the
+//!   node's depth; the base station ends up with exactly the same sample
+//!   state as in the flat model;
+//! * **in-network exact aggregation** ([`TreeNetwork::aggregate_exact_count`]) —
+//!   the TAG-style baseline: each node computes its local exact count and
+//!   partial sums merge at interior nodes, costing one fixed-size message
+//!   per tree edge. This is the expensive-per-query alternative the
+//!   paper's one-sample/many-queries design avoids.
+
+use crate::base_station::BaseStation;
+use crate::failure::FailurePlan;
+use crate::message::{Message, NodeId, MESSAGE_HEADER_BYTES};
+use crate::network::CostMeter;
+use crate::node::SensorNode;
+
+/// Wire size of one partial-sum aggregation message.
+pub const AGGREGATE_MESSAGE_BYTES: usize = MESSAGE_HEADER_BYTES + 8;
+
+/// A balanced d-ary aggregation tree of sensor nodes.
+///
+/// # Examples
+///
+/// ```
+/// use prc_net::tree::TreeNetwork;
+///
+/// let partitions: Vec<Vec<f64>> = (0..7).map(|i| vec![f64::from(i); 10]).collect();
+/// let mut tree = TreeNetwork::from_partitions(partitions, 2, 42);
+/// tree.collect_samples(0.5);
+/// assert_eq!(tree.max_depth(), 3); // a 7-node binary tree
+/// let (count, messages, _bytes) = tree.aggregate_exact_count(2.0, 5.0);
+/// assert_eq!(count, 40); // values 2, 3, 4, 5 × 10 records
+/// assert_eq!(messages, 7); // one partial sum per node
+/// ```
+#[derive(Debug)]
+pub struct TreeNetwork {
+    nodes: Vec<SensorNode>,
+    /// `parent[i]` is the index of node `i`'s parent, or `None` for
+    /// children of the base station (the tree's roots).
+    parent: Vec<Option<usize>>,
+    /// `depth[i]` = number of hops from node `i` to the base station (≥ 1).
+    depth: Vec<u32>,
+    station: BaseStation,
+    meter: CostMeter,
+    failure: FailurePlan,
+}
+
+impl TreeNetwork {
+    /// Builds a balanced tree with the given branching factor: node `i`'s
+    /// parent is node `(i − 1) / branching` and node `0` reports directly
+    /// to the base station.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions` is empty or `branching == 0`.
+    pub fn from_partitions(partitions: Vec<Vec<f64>>, branching: usize, seed: u64) -> Self {
+        assert!(!partitions.is_empty(), "network needs at least one node");
+        assert!(branching > 0, "branching factor must be positive");
+        let k = partitions.len();
+        let nodes: Vec<SensorNode> = partitions
+            .into_iter()
+            .enumerate()
+            .map(|(i, data)| SensorNode::new(NodeId(i as u32), data, seed))
+            .collect();
+        let mut parent = Vec::with_capacity(k);
+        let mut depth = Vec::with_capacity(k);
+        for i in 0..k {
+            if i == 0 {
+                parent.push(None);
+                depth.push(1);
+            } else {
+                let p = (i - 1) / branching;
+                parent.push(Some(p));
+                depth.push(depth[p] + 1);
+            }
+        }
+        TreeNetwork {
+            nodes,
+            parent,
+            depth,
+            station: BaseStation::new(),
+            meter: CostMeter::new(),
+            failure: FailurePlan::none(),
+        }
+    }
+
+    /// Installs a failure plan (replacing any previous plan).
+    pub fn set_failure_plan(&mut self, plan: FailurePlan) {
+        self.failure = plan;
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total data elements across all nodes.
+    pub fn total_data_size(&self) -> usize {
+        self.nodes.iter().map(SensorNode::population_size).sum()
+    }
+
+    /// Hop distance of node `i` from the base station.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn depth(&self, i: usize) -> u32 {
+        self.depth[i]
+    }
+
+    /// Maximum depth of the tree.
+    pub fn max_depth(&self) -> u32 {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The base station's view of collected samples.
+    pub fn station(&self) -> &BaseStation {
+        &self.station
+    }
+
+    /// The cost meter.
+    pub fn meter(&self) -> &CostMeter {
+        &self.meter
+    }
+
+    /// Exact global range count — ground truth for evaluation.
+    pub fn exact_range_count(&self, l: f64, u: f64) -> usize {
+        self.nodes.iter().map(|n| n.exact_range_count(l, u)).sum()
+    }
+
+    /// Runs one collection round with hop-multiplied costs.
+    ///
+    /// Every live node whose entire path to the root is alive raises its
+    /// sampling probability to `target`; its batch is charged once per
+    /// hop. Nodes cut off by a dead ancestor cannot deliver.
+    ///
+    /// Returns the number of sample entries that reached the base station.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is not in `(0, 1]`.
+    pub fn collect_samples(&mut self, target: f64) -> usize {
+        let alive: Vec<bool> = (0..self.nodes.len())
+            .map(|i| !self.failure.node_is_dead(NodeId(i as u32)))
+            .collect();
+        let connected: Vec<bool> = (0..self.nodes.len())
+            .map(|i| self.path_is_alive(i, &alive))
+            .collect();
+
+        let mut delivered = 0;
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            if !connected[i] || node.probability() >= target {
+                continue;
+            }
+            let hops = self.depth[i];
+            let request = Message::TopUpRequest {
+                node_id: node.id(),
+                target_probability: target,
+            };
+            self.meter.record(&request, hops, 1);
+            let batch = node.sample_to(target);
+            let message = Message::Sample(batch.clone());
+            self.meter.record(&message, hops, 1);
+            delivered += batch.entries.len();
+            self.station.ingest(batch);
+        }
+        delivered
+    }
+
+    /// TAG-style in-network exact aggregation: every live, connected node
+    /// computes its local `γ(l, u, i)`; partial sums merge on the way up,
+    /// costing one fixed-size message per live tree edge.
+    ///
+    /// Returns `(count, messages, bytes)` for this single query.
+    pub fn aggregate_exact_count(&mut self, l: f64, u: f64) -> (usize, u64, u64) {
+        let alive: Vec<bool> = (0..self.nodes.len())
+            .map(|i| !self.failure.node_is_dead(NodeId(i as u32)))
+            .collect();
+        let connected: Vec<bool> = (0..self.nodes.len())
+            .map(|i| self.path_is_alive(i, &alive))
+            .collect();
+
+        let mut count = 0usize;
+        let mut messages = 0u64;
+        let mut bytes = 0u64;
+        for (i, node) in self.nodes.iter().enumerate() {
+            if connected[i] {
+                count += node.exact_range_count(l, u);
+                // One partial-sum message on the edge toward the parent.
+                messages += 1;
+                bytes += AGGREGATE_MESSAGE_BYTES as u64;
+            }
+        }
+        (count, messages, bytes)
+    }
+
+    /// True when node `i` and all its ancestors are alive.
+    fn path_is_alive(&self, mut i: usize, alive: &[bool]) -> bool {
+        loop {
+            if !alive[i] {
+                return false;
+            }
+            match self.parent[i] {
+                Some(p) => i = p,
+                None => return true,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn partitions(k: usize, per_node: usize) -> Vec<Vec<f64>> {
+        (0..k)
+            .map(|i| (0..per_node).map(|j| (i * per_node + j) as f64).collect())
+            .collect()
+    }
+
+    #[test]
+    fn binary_tree_depths() {
+        let net = TreeNetwork::from_partitions(partitions(7, 10), 2, 0);
+        assert_eq!(
+            (0..7).map(|i| net.depth(i)).collect::<Vec<_>>(),
+            vec![1, 2, 2, 3, 3, 3, 3]
+        );
+        assert_eq!(net.max_depth(), 3);
+    }
+
+    #[test]
+    fn star_topology_with_huge_branching() {
+        let net = TreeNetwork::from_partitions(partitions(5, 10), 100, 0);
+        // Node 0 is the root child; nodes 1..5 all hang off node 0.
+        assert_eq!(net.depth(0), 1);
+        for i in 1..5 {
+            assert_eq!(net.depth(i), 2);
+        }
+    }
+
+    #[test]
+    fn collection_reaches_station_with_hop_costs() {
+        let parts = partitions(7, 200);
+        let mut tree = TreeNetwork::from_partitions(parts.clone(), 2, 13);
+        let delivered = tree.collect_samples(0.5);
+        assert_eq!(tree.station().node_count(), 7);
+        assert_eq!(tree.station().total_samples(), delivered);
+
+        // Hop multiplication: the tree must cost strictly more messages
+        // than a flat network moving the same batches.
+        let mut flat = crate::network::FlatNetwork::from_partitions(parts, 13);
+        flat.collect_samples(0.5);
+        assert_eq!(
+            flat.station(),
+            tree.station(),
+            "same seed must sample identically"
+        );
+        assert!(tree.meter().snapshot().messages > flat.meter().snapshot().messages);
+        assert!(tree.meter().snapshot().bytes > flat.meter().snapshot().bytes);
+    }
+
+    #[test]
+    fn dead_ancestor_cuts_off_subtree() {
+        let mut tree = TreeNetwork::from_partitions(partitions(7, 50), 2, 1);
+        let mut plan = FailurePlan::none();
+        plan.kill_node(NodeId(1)); // children 3 and 4 are cut off too
+        tree.set_failure_plan(plan);
+        tree.collect_samples(0.9);
+        // Nodes 1, 3, 4 missing; 0, 2, 5, 6 deliver.
+        assert_eq!(tree.station().node_count(), 4);
+    }
+
+    #[test]
+    fn exact_aggregation_counts_and_costs() {
+        let mut tree = TreeNetwork::from_partitions(partitions(5, 100), 2, 1);
+        let truth = tree.exact_range_count(100.0, 250.0);
+        let (count, messages, bytes) = tree.aggregate_exact_count(100.0, 250.0);
+        assert_eq!(count, truth);
+        assert_eq!(messages, 5);
+        assert_eq!(bytes, 5 * AGGREGATE_MESSAGE_BYTES as u64);
+    }
+
+    #[test]
+    fn exact_aggregation_under_failure_undercounts() {
+        let mut tree = TreeNetwork::from_partitions(partitions(7, 100), 2, 1);
+        let truth = tree.exact_range_count(0.0, 1_000.0);
+        let mut plan = FailurePlan::none();
+        plan.kill_node(NodeId(2)); // cuts off 2, 5, 6
+        tree.set_failure_plan(plan);
+        let (count, messages, _) = tree.aggregate_exact_count(0.0, 1_000.0);
+        assert!(count < truth);
+        assert_eq!(messages, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "branching factor")]
+    fn zero_branching_panics() {
+        let _ = TreeNetwork::from_partitions(partitions(2, 2), 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_tree_panics() {
+        let _ = TreeNetwork::from_partitions(vec![], 2, 0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Error types for pricing.
+
+use std::fmt;
+
+/// Errors produced while constructing pricing machinery.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PricingError {
+    /// A coefficient or population parameter was not finite and positive.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// An accuracy pair fell outside `(0, 1) × (0, 1)`.
+    InvalidAccuracy {
+        /// The α parameter as given.
+        alpha: f64,
+        /// The δ parameter as given.
+        delta: f64,
+    },
+}
+
+impl fmt::Display for PricingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PricingError::InvalidParameter { name, value } => {
+                write!(f, "parameter `{name}` must be finite and positive, got {value}")
+            }
+            PricingError::InvalidAccuracy { alpha, delta } => write!(
+                f,
+                "accuracy parameters must lie in (0, 1), got alpha={alpha}, delta={delta}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PricingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_parameter() {
+        let e = PricingError::InvalidParameter {
+            name: "coefficient",
+            value: -3.0,
+        };
+        assert!(e.to_string().contains("coefficient"));
+        assert!(e.to_string().contains("-3"));
+        let e = PricingError::InvalidAccuracy {
+            alpha: 2.0,
+            delta: 0.5,
+        };
+        assert!(e.to_string().contains("alpha=2"));
+    }
+}

@@ -1,0 +1,309 @@
+//! History-aware (marginal-information) pricing.
+//!
+//! The paper prices each answer independently; Definition 2.3 then has to
+//! rule out bundle arbitrage *inequality by inequality*. A stronger
+//! discipline from the query-pricing literature (Li & Kifer's line of
+//! work) is to charge each buyer for the **marginal information** a new
+//! purchase adds to what they already hold:
+//!
+//! ```text
+//! charge = f(w_before + w_new) − f(w_before)
+//! ```
+//!
+//! where `w = 1/V` is an answer's *precision*, precisions of independent
+//! answers to the same query add under optimal (inverse-variance
+//! weighted) combination, and `f(w)` is the posted price of a fresh
+//! answer with precision `w`.
+//!
+//! Telescoping makes the scheme exactly arbitrage-free for *any*
+//! non-decreasing `f` with `f(0) = 0`: however a buyer splits their
+//! shopping into bundles, the total paid is always `f(w_total)` — the
+//! posted price of the information they end up holding. Splitting can
+//! never save money, and (unlike the stateless scheme) over-buying in
+//! small pieces never *loses* money either.
+
+use std::collections::HashMap;
+
+use crate::functions::{
+    InverseVariancePricing, LogPrecisionPricing, PricingFunction, SqrtPrecisionPricing,
+};
+use crate::variance::VarianceModel;
+
+/// A pricing function expressed over *precision* `w = 1/V`.
+///
+/// Implementations must be non-decreasing in `w` with
+/// `price_of_precision(0) = 0`.
+pub trait PrecisionPricing {
+    /// The posted price of a fresh answer with precision `w`.
+    fn price_of_precision(&self, w: f64) -> f64;
+}
+
+impl<M: VarianceModel> PrecisionPricing for InverseVariancePricing<M> {
+    fn price_of_precision(&self, w: f64) -> f64 {
+        if w <= 0.0 {
+            0.0
+        } else {
+            self.price_of_variance(1.0 / w)
+        }
+    }
+}
+
+impl<M: VarianceModel> PrecisionPricing for SqrtPrecisionPricing<M> {
+    fn price_of_precision(&self, w: f64) -> f64 {
+        if w <= 0.0 {
+            0.0
+        } else {
+            self.price_of_variance(1.0 / w)
+        }
+    }
+}
+
+impl<M: VarianceModel> PrecisionPricing for LogPrecisionPricing<M> {
+    fn price_of_precision(&self, w: f64) -> f64 {
+        if w <= 0.0 {
+            0.0
+        } else {
+            self.price_of_variance(1.0 / w)
+        }
+    }
+}
+
+/// Marginal-information pricing over a buyer/query purchase history.
+///
+/// # Examples
+///
+/// ```
+/// use prc_pricing::functions::SqrtPrecisionPricing;
+/// use prc_pricing::history::HistoryAwarePricing;
+/// use prc_pricing::variance::ChebyshevVariance;
+///
+/// let model = ChebyshevVariance::new(10_000);
+/// let mut pricing = HistoryAwarePricing::new(SqrtPrecisionPricing::new(1e3, model), model);
+/// let first = pricing.purchase("alice", "ozone:[80,120]", 0.1, 0.5);
+/// let second = pricing.purchase("alice", "ozone:[80,120]", 0.1, 0.5);
+/// // Under a concave posted price, the repeat purchase is discounted.
+/// assert!(second < first);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HistoryAwarePricing<F, M> {
+    base: F,
+    model: M,
+    /// Accumulated precision per (buyer, query key).
+    holdings: HashMap<(String, String), f64>,
+}
+
+impl<F, M> HistoryAwarePricing<F, M>
+where
+    F: PricingFunction + PrecisionPricing,
+    M: VarianceModel,
+{
+    /// Wraps a posted pricing function and its variance model.
+    pub fn new(base: F, model: M) -> Self {
+        HistoryAwarePricing {
+            base,
+            model,
+            holdings: HashMap::new(),
+        }
+    }
+
+    /// The underlying posted pricing function.
+    pub fn base(&self) -> &F {
+        &self.base
+    }
+
+    /// Precision the buyer already holds for the query.
+    pub fn held_precision(&self, buyer: &str, query_key: &str) -> f64 {
+        self.holdings
+            .get(&(buyer.to_owned(), query_key.to_owned()))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// The marginal price of one more `(α, δ)` answer for this buyer and
+    /// query, without recording a purchase.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `α` or `δ` is outside `(0, 1)` (propagated from the
+    /// variance model).
+    pub fn quote(&self, buyer: &str, query_key: &str, alpha: f64, delta: f64) -> f64 {
+        let w_new = 1.0 / self.model.variance(alpha, delta);
+        let w_before = self.held_precision(buyer, query_key);
+        (self.base.price_of_precision(w_before + w_new)
+            - self.base.price_of_precision(w_before))
+        .max(0.0)
+    }
+
+    /// Records a purchase and returns the charged (marginal) price.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `α` or `δ` is outside `(0, 1)`.
+    pub fn purchase(&mut self, buyer: &str, query_key: &str, alpha: f64, delta: f64) -> f64 {
+        let price = self.quote(buyer, query_key, alpha, delta);
+        let w_new = 1.0 / self.model.variance(alpha, delta);
+        *self
+            .holdings
+            .entry((buyer.to_owned(), query_key.to_owned()))
+            .or_insert(0.0) += w_new;
+        price
+    }
+
+    /// Forgets one buyer's history (e.g. after a data refresh makes old
+    /// answers stale).
+    pub fn forget_buyer(&mut self, buyer: &str) {
+        self.holdings.retain(|(b, _), _| b != buyer);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variance::ChebyshevVariance;
+
+    fn model() -> ChebyshevVariance {
+        ChebyshevVariance::new(10_000)
+    }
+
+    #[test]
+    fn first_purchase_matches_posted_price() {
+        let base = InverseVariancePricing::new(1e6, model());
+        let mut pricing = HistoryAwarePricing::new(base, model());
+        let quoted = pricing.quote("alice", "q1", 0.1, 0.5);
+        assert!((quoted - base.price(0.1, 0.5)).abs() < 1e-9);
+        let charged = pricing.purchase("alice", "q1", 0.1, 0.5);
+        assert_eq!(charged, quoted);
+    }
+
+    #[test]
+    fn linear_precision_pricing_is_history_invariant() {
+        // With π = c/V (linear in precision), the marginal price of an
+        // answer never depends on history.
+        let base = InverseVariancePricing::new(1e6, model());
+        let mut pricing = HistoryAwarePricing::new(base, model());
+        let fresh = pricing.quote("alice", "q1", 0.05, 0.8);
+        pricing.purchase("alice", "q1", 0.2, 0.5);
+        pricing.purchase("alice", "q1", 0.1, 0.9);
+        let after_history = pricing.quote("alice", "q1", 0.05, 0.8);
+        assert!((fresh - after_history).abs() / fresh < 1e-9);
+    }
+
+    #[test]
+    fn concave_pricing_discounts_repeat_buyers() {
+        // With a concave f (√precision), each additional identical answer
+        // is cheaper than the last — the buyer already holds most of the
+        // information.
+        let base = SqrtPrecisionPricing::new(1e3, model());
+        let mut pricing = HistoryAwarePricing::new(base, model());
+        let p1 = pricing.purchase("bob", "q1", 0.1, 0.5);
+        let p2 = pricing.purchase("bob", "q1", 0.1, 0.5);
+        let p3 = pricing.purchase("bob", "q1", 0.1, 0.5);
+        assert!(p1 > p2 && p2 > p3, "{p1} > {p2} > {p3} expected");
+        assert!(p3 > 0.0);
+    }
+
+    #[test]
+    fn telescoping_makes_total_paid_path_independent() {
+        // Whatever the purchase path, the total paid equals f(w_total).
+        let base = LogPrecisionPricing::new(50.0, model());
+        let m = model();
+
+        let path_a = [(0.1, 0.5), (0.05, 0.8), (0.2, 0.9)];
+        let path_b = [(0.2, 0.9), (0.1, 0.5), (0.05, 0.8)]; // same set, reordered
+
+        let total = |path: &[(f64, f64)]| {
+            let mut pricing = HistoryAwarePricing::new(base, m);
+            path.iter()
+                .map(|&(a, d)| pricing.purchase("carol", "q", a, d))
+                .sum::<f64>()
+        };
+        let total_a = total(&path_a);
+        let total_b = total(&path_b);
+        assert!((total_a - total_b).abs() < 1e-9, "{total_a} vs {total_b}");
+
+        // And both equal the posted price of the combined precision.
+        let w_total: f64 = path_a.iter().map(|&(a, d)| 1.0 / m.variance(a, d)).sum();
+        assert!((total_a - base.price_of_precision(w_total)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn splitting_never_saves_money() {
+        // Buying the target accuracy directly vs. accumulating it in k
+        // cheap pieces costs exactly the same — arbitrage-free with
+        // equality, for every family.
+        let m = model();
+        let target_w = 1.0 / m.variance(0.03, 0.9);
+
+        fn check<F: PricingFunction + PrecisionPricing + Clone>(base: F, m: ChebyshevVariance, target_w: f64) {
+            let direct = base.price_of_precision(target_w);
+            let mut pricing = HistoryAwarePricing::new(base, m);
+            // Ten equal slices of the target precision: realized as ten
+            // purchases of an accuracy with a tenth of the precision.
+            // (We bypass (α, δ) and add precision via quotes on a crafted
+            // accuracy whose variance is 10/target_w.)
+            let slice_v = 10.0 / target_w;
+            let alpha = 0.5;
+            let delta = m.delta_for_variance(alpha, slice_v);
+            assert!(delta > 0.0 && delta < 1.0, "crafted slice must be valid");
+            let total: f64 = (0..10)
+                .map(|_| pricing.purchase("dave", "q", alpha, delta))
+                .sum();
+            assert!(
+                (total - direct).abs() / direct < 1e-6,
+                "split total {total} vs direct {direct}"
+            );
+        }
+        check(InverseVariancePricing::new(1e6, m), m, target_w);
+        check(SqrtPrecisionPricing::new(1e3, m), m, target_w);
+        check(LogPrecisionPricing::new(50.0, m), m, target_w);
+    }
+
+    #[test]
+    fn histories_are_isolated_per_buyer_and_query() {
+        let base = SqrtPrecisionPricing::new(1e3, model());
+        let mut pricing = HistoryAwarePricing::new(base, model());
+        let fresh = pricing.quote("alice", "q1", 0.1, 0.5);
+        pricing.purchase("alice", "q1", 0.1, 0.5);
+        // Other buyer and other query still pay the fresh price.
+        assert_eq!(pricing.quote("bob", "q1", 0.1, 0.5), fresh);
+        assert_eq!(pricing.quote("alice", "q2", 0.1, 0.5), fresh);
+        // Alice on q1 pays less.
+        assert!(pricing.quote("alice", "q1", 0.1, 0.5) < fresh);
+        assert!(pricing.held_precision("alice", "q1") > 0.0);
+        assert_eq!(pricing.held_precision("bob", "q1"), 0.0);
+    }
+
+    #[test]
+    fn forget_buyer_resets_their_discounts() {
+        let base = SqrtPrecisionPricing::new(1e3, model());
+        let mut pricing = HistoryAwarePricing::new(base, model());
+        let fresh = pricing.quote("alice", "q1", 0.1, 0.5);
+        pricing.purchase("alice", "q1", 0.1, 0.5);
+        pricing.purchase("bob", "q1", 0.1, 0.5);
+        pricing.forget_buyer("alice");
+        assert_eq!(pricing.quote("alice", "q1", 0.1, 0.5), fresh);
+        // Bob's history survives.
+        assert!(pricing.quote("bob", "q1", 0.1, 0.5) < fresh);
+    }
+
+    #[test]
+    fn quotes_are_never_negative() {
+        let base = LogPrecisionPricing::new(10.0, model());
+        let mut pricing = HistoryAwarePricing::new(base, model());
+        for _ in 0..50 {
+            let q = pricing.purchase("eve", "q", 0.9, 0.01);
+            assert!(q >= 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_precision_prices_zero() {
+        let base = InverseVariancePricing::new(1e6, model());
+        assert_eq!(base.price_of_precision(0.0), 0.0);
+        assert_eq!(base.price_of_precision(-1.0), 0.0);
+        let sqrt = SqrtPrecisionPricing::new(1e3, model());
+        assert_eq!(sqrt.price_of_precision(0.0), 0.0);
+        let log = LogPrecisionPricing::new(10.0, model());
+        assert_eq!(log.price_of_precision(0.0), 0.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Trade bookkeeping for the broker.
+
+use std::collections::BTreeMap;
+
+/// One recorded sale.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TradeRecord {
+    /// Monotone sequence number assigned by the ledger.
+    pub sequence: u64,
+    /// The purchasing consumer.
+    pub buyer: String,
+    /// Error bound the answer was sold at.
+    pub alpha: f64,
+    /// Confidence the answer was sold at.
+    pub delta: f64,
+    /// Price charged.
+    pub price: f64,
+}
+
+/// An append-only ledger of sales with revenue accounting.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TradeLedger {
+    records: Vec<TradeRecord>,
+}
+
+impl TradeLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        TradeLedger::default()
+    }
+
+    /// Records one sale and returns its sequence number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `price` is negative or not finite.
+    pub fn record(&mut self, buyer: &str, alpha: f64, delta: f64, price: f64) -> u64 {
+        assert!(
+            price.is_finite() && price >= 0.0,
+            "price must be finite and non-negative, got {price}"
+        );
+        let sequence = self.records.len() as u64;
+        self.records.push(TradeRecord {
+            sequence,
+            buyer: buyer.to_owned(),
+            alpha,
+            delta,
+            price,
+        });
+        sequence
+    }
+
+    /// Number of recorded sales.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no sale has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All records, in recording order.
+    pub fn records(&self) -> &[TradeRecord] {
+        &self.records
+    }
+
+    /// Total revenue across all sales.
+    pub fn total_revenue(&self) -> f64 {
+        self.records.iter().map(|r| r.price).sum()
+    }
+
+    /// Revenue per buyer, in buyer-name order.
+    pub fn revenue_by_buyer(&self) -> BTreeMap<String, f64> {
+        let mut out = BTreeMap::new();
+        for r in &self.records {
+            *out.entry(r.buyer.clone()).or_insert(0.0) += r.price;
+        }
+        out
+    }
+
+    /// Total spend of one buyer.
+    pub fn buyer_spend(&self, buyer: &str) -> f64 {
+        self.records
+            .iter()
+            .filter(|r| r.buyer == buyer)
+            .map(|r| r.price)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate_in_order() {
+        let mut ledger = TradeLedger::new();
+        assert!(ledger.is_empty());
+        assert_eq!(ledger.record("alice", 0.1, 0.8, 10.0), 0);
+        assert_eq!(ledger.record("bob", 0.2, 0.5, 4.0), 1);
+        assert_eq!(ledger.record("alice", 0.05, 0.9, 25.0), 2);
+        assert_eq!(ledger.len(), 3);
+        assert_eq!(ledger.records()[1].buyer, "bob");
+    }
+
+    #[test]
+    fn revenue_accounting() {
+        let mut ledger = TradeLedger::new();
+        ledger.record("alice", 0.1, 0.8, 10.0);
+        ledger.record("bob", 0.2, 0.5, 4.0);
+        ledger.record("alice", 0.05, 0.9, 25.0);
+        assert!((ledger.total_revenue() - 39.0).abs() < 1e-12);
+        assert!((ledger.buyer_spend("alice") - 35.0).abs() < 1e-12);
+        assert_eq!(ledger.buyer_spend("carol"), 0.0);
+        let by_buyer = ledger.revenue_by_buyer();
+        assert_eq!(by_buyer.len(), 2);
+        assert!((by_buyer["bob"] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "price must be finite")]
+    fn negative_price_panics() {
+        TradeLedger::new().record("mallory", 0.1, 0.5, -1.0);
+    }
+}

@@ -1,0 +1,234 @@
+//! Market simulation: demand, revenue, and coefficient tuning.
+//!
+//! The paper fixes the *shape* of an arbitrage-avoiding pricing function
+//! but not its level — a "benefit-concerned data broker" still has to
+//! pick the coefficient `c`. This module provides a simple demand model
+//! (consumer segments with accuracy demands and willingness to pay) and
+//! the revenue machinery to tune `c` without leaving the
+//! arbitrage-avoiding family: scaling `ψ(V)` by a positive constant
+//! preserves every property of Theorem 4.2.
+
+use crate::functions::PricingFunction;
+
+/// A group of identical consumers.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ConsumerSegment {
+    /// Number of consumers in the segment.
+    pub count: u64,
+    /// Error bound they need.
+    pub alpha: f64,
+    /// Confidence they need.
+    pub delta: f64,
+    /// The most each will pay for one answer.
+    pub willingness_to_pay: f64,
+}
+
+impl ConsumerSegment {
+    /// Creates a segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `α, δ ∈ (0, 1)` and the willingness to pay is finite
+    /// and non-negative.
+    pub fn new(count: u64, alpha: f64, delta: f64, willingness_to_pay: f64) -> Self {
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+        assert!(
+            willingness_to_pay.is_finite() && willingness_to_pay >= 0.0,
+            "willingness to pay must be finite and non-negative"
+        );
+        ConsumerSegment {
+            count,
+            alpha,
+            delta,
+            willingness_to_pay,
+        }
+    }
+}
+
+/// Outcome of offering one pricing function to a market.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MarketOutcome {
+    /// Answers sold.
+    pub sales: u64,
+    /// Revenue collected.
+    pub revenue: f64,
+    /// Aggregate consumer surplus (Σ willingness − price over buyers).
+    pub consumer_surplus: f64,
+    /// Consumers priced out.
+    pub priced_out: u64,
+}
+
+/// Simulates one market round: every consumer buys exactly one answer at
+/// their own `(α, δ)` iff the posted price does not exceed their
+/// willingness to pay.
+///
+/// # Examples
+///
+/// ```
+/// use prc_pricing::functions::InverseVariancePricing;
+/// use prc_pricing::market::{simulate_market, ConsumerSegment};
+/// use prc_pricing::variance::ChebyshevVariance;
+///
+/// let pricing = InverseVariancePricing::new(1e6, ChebyshevVariance::new(17_568));
+/// let segments = [ConsumerSegment::new(10, 0.1, 0.5, 1.0)];
+/// let outcome = simulate_market(&pricing, &segments);
+/// assert_eq!(outcome.sales + outcome.priced_out, 10);
+/// ```
+pub fn simulate_market<F: PricingFunction>(
+    pricing: &F,
+    segments: &[ConsumerSegment],
+) -> MarketOutcome {
+    let mut outcome = MarketOutcome {
+        sales: 0,
+        revenue: 0.0,
+        consumer_surplus: 0.0,
+        priced_out: 0,
+    };
+    for segment in segments {
+        let price = pricing.price(segment.alpha, segment.delta);
+        if price <= segment.willingness_to_pay {
+            outcome.sales += segment.count;
+            outcome.revenue += price * segment.count as f64;
+            outcome.consumer_surplus +=
+                (segment.willingness_to_pay - price) * segment.count as f64;
+        } else {
+            outcome.priced_out += segment.count;
+        }
+    }
+    outcome
+}
+
+/// Grid-searches the revenue-maximizing scale factor for a pricing
+/// function: evaluates `scale · π(·)` for every candidate and returns
+/// `(best_scale, best_outcome)`.
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty or contains a non-positive scale.
+pub fn tune_scale<F: PricingFunction>(
+    pricing: &F,
+    segments: &[ConsumerSegment],
+    candidates: &[f64],
+) -> (f64, MarketOutcome) {
+    assert!(!candidates.is_empty(), "need at least one candidate scale");
+    assert!(
+        candidates.iter().all(|&c| c > 0.0 && c.is_finite()),
+        "scales must be positive and finite"
+    );
+    struct Scaled<'a, F> {
+        inner: &'a F,
+        scale: f64,
+    }
+    impl<F: PricingFunction> PricingFunction for Scaled<'_, F> {
+        fn name(&self) -> &'static str {
+            "scaled"
+        }
+        fn price(&self, alpha: f64, delta: f64) -> f64 {
+            self.scale * self.inner.price(alpha, delta)
+        }
+    }
+
+    let mut best: Option<(f64, MarketOutcome)> = None;
+    for &scale in candidates {
+        let outcome = simulate_market(&Scaled { inner: pricing, scale }, segments);
+        let better = match &best {
+            Some((_, b)) => outcome.revenue > b.revenue,
+            None => true,
+        };
+        if better {
+            best = Some((scale, outcome));
+        }
+    }
+    best.expect("candidates is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functions::InverseVariancePricing;
+    use crate::variance::ChebyshevVariance;
+
+    fn pricing(c: f64) -> InverseVariancePricing<ChebyshevVariance> {
+        InverseVariancePricing::new(c, ChebyshevVariance::new(17_568))
+    }
+
+    fn market() -> Vec<ConsumerSegment> {
+        vec![
+            // Hobbyists: loose accuracy, shallow pockets.
+            ConsumerSegment::new(100, 0.2, 0.5, 5.0),
+            // Analysts: medium demands.
+            ConsumerSegment::new(30, 0.08, 0.7, 120.0),
+            // An agency: strict demands, deep pockets.
+            ConsumerSegment::new(3, 0.02, 0.9, 30_000.0),
+        ]
+    }
+
+    #[test]
+    fn everyone_buys_when_prices_are_tiny() {
+        let outcome = simulate_market(&pricing(1.0), &market());
+        assert_eq!(outcome.sales, 133);
+        assert_eq!(outcome.priced_out, 0);
+        assert!(outcome.revenue > 0.0);
+        assert!(outcome.consumer_surplus > 0.0);
+    }
+
+    #[test]
+    fn nobody_buys_when_prices_are_huge() {
+        let outcome = simulate_market(&pricing(1e18), &market());
+        assert_eq!(outcome.sales, 0);
+        assert_eq!(outcome.revenue, 0.0);
+        assert_eq!(outcome.priced_out, 133);
+    }
+
+    #[test]
+    fn sales_are_monotone_in_the_coefficient() {
+        let mut prev_sales = u64::MAX;
+        for c in [1.0, 1e4, 1e7, 1e9, 1e12] {
+            let outcome = simulate_market(&pricing(c), &market());
+            assert!(outcome.sales <= prev_sales, "sales rose with price at c={c}");
+            prev_sales = outcome.sales;
+        }
+    }
+
+    #[test]
+    fn tuning_finds_an_interior_optimum() {
+        // Revenue at tiny scale ≈ 0 (prices ~0), at huge scale = 0
+        // (nobody buys); the optimum is interior.
+        let base = pricing(1.0);
+        let candidates: Vec<f64> = (0..24).map(|i| 10f64.powi(i - 3)).collect();
+        let (best_scale, best) = tune_scale(&base, &market(), &candidates);
+        assert!(best.revenue > 0.0);
+        // The optimum beats both extremes decisively.
+        let low = simulate_market(&pricing(candidates[0]), &market());
+        let high = simulate_market(&pricing(*candidates.last().unwrap()), &market());
+        assert!(best.revenue > low.revenue * 10.0);
+        assert!(best.revenue > high.revenue);
+        assert!(best_scale > candidates[0]);
+    }
+
+    #[test]
+    fn surplus_plus_revenue_equals_willingness_of_buyers() {
+        let outcome = simulate_market(&pricing(1e6), &market());
+        let buyers_willingness: f64 = market()
+            .iter()
+            .filter(|s| pricing(1e6).price(s.alpha, s.delta) <= s.willingness_to_pay)
+            .map(|s| s.willingness_to_pay * s.count as f64)
+            .sum();
+        assert!(
+            (outcome.revenue + outcome.consumer_surplus - buyers_willingness).abs() < 1e-6
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn bad_segment_panics() {
+        let _ = ConsumerSegment::new(1, 0.0, 0.5, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn empty_candidates_panic() {
+        let _ = tune_scale(&pricing(1.0), &market(), &[]);
+    }
+}

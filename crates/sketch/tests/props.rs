@@ -1,0 +1,123 @@
+//! Property-based tests for the sketch substrate: every certified bound
+//! must contain the ground truth, for arbitrary data and queries.
+
+use proptest::prelude::*;
+
+use prc_sketch::distributed::{digest_partitions, gk_partitions, Quantizer, SketchStation};
+use prc_sketch::{GkSummary, QDigest};
+
+fn exact_range(values: &[u64], a: u64, b: u64) -> u64 {
+    values.iter().filter(|&&v| v >= a && v <= b).count() as u64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn qdigest_bounds_contain_truth(
+        values in proptest::collection::vec(0u64..1024, 1..800),
+        compression in 1u64..200,
+        a in 0u64..1024,
+        b in 0u64..1024,
+    ) {
+        let (a, b) = (a.min(b), a.max(b));
+        let digest = QDigest::from_values(10, compression, &values);
+        let truth = exact_range(&values, a, b);
+        let bounds = digest.range_count_bounds(a, b);
+        prop_assert!(bounds.contains(truth),
+            "truth {truth} outside [{}, {}]", bounds.lower, bounds.upper);
+        // Width respects the theoretical bound (two rank queries).
+        prop_assert!(bounds.upper - bounds.lower <= 2 * digest.error_bound());
+        prop_assert_eq!(digest.total(), values.len() as u64);
+    }
+
+    #[test]
+    fn qdigest_merge_preserves_containment(
+        left in proptest::collection::vec(0u64..256, 0..300),
+        right in proptest::collection::vec(0u64..256, 1..300),
+        compression in 1u64..64,
+        a in 0u64..256,
+        b in 0u64..256,
+    ) {
+        let (a, b) = (a.min(b), a.max(b));
+        let mut merged = QDigest::from_values(8, compression, &left);
+        merged.merge_from(&QDigest::from_values(8, compression, &right));
+        let all: Vec<u64> = left.iter().chain(right.iter()).copied().collect();
+        prop_assert!(merged.range_count_bounds(a, b).contains(exact_range(&all, a, b)));
+        prop_assert_eq!(merged.total(), all.len() as u64);
+    }
+
+    #[test]
+    fn gk_rank_bounds_contain_truth(
+        raw in proptest::collection::vec(-500.0f64..500.0, 1..600),
+        epsilon_milli in 2u32..200,
+        x in -600.0f64..600.0,
+    ) {
+        let epsilon = f64::from(epsilon_milli) / 1000.0;
+        let summary = GkSummary::from_values(epsilon, &raw);
+        let truth = raw.iter().filter(|&&v| v <= x).count() as u64;
+        let bounds = summary.rank_bounds(x);
+        prop_assert!(bounds.contains(truth),
+            "rank({x}) = {truth} outside [{}, {}]", bounds.lower, bounds.upper);
+    }
+
+    #[test]
+    fn gk_range_bounds_contain_truth(
+        raw in proptest::collection::vec(0.0f64..100.0, 1..500),
+        epsilon_milli in 5u32..100,
+        a in -10.0f64..110.0,
+        width in 0.0f64..120.0,
+    ) {
+        let epsilon = f64::from(epsilon_milli) / 1000.0;
+        let summary = GkSummary::from_values(epsilon, &raw);
+        let b = a + width;
+        let truth = raw.iter().filter(|&&v| v >= a && v <= b).count() as u64;
+        prop_assert!(summary.range_count_bounds(a, b).contains(truth));
+    }
+
+    #[test]
+    fn quantizer_is_monotone_and_clamped(
+        lo in -1000.0f64..0.0,
+        span in 1.0f64..2000.0,
+        bits in 1u32..16,
+        x in -2000.0f64..2000.0,
+        y in -2000.0f64..2000.0,
+    ) {
+        let q = Quantizer::new(lo, lo + span, bits);
+        let (small, large) = (x.min(y), x.max(y));
+        prop_assert!(q.quantize(small) <= q.quantize(large));
+        prop_assert!(q.quantize(x) <= q.max_code());
+        // Dequantize stays within the value domain.
+        let back = q.dequantize(q.quantize(x));
+        prop_assert!(back >= lo - 1e-9 && back <= lo + span + 1e-9);
+    }
+
+    #[test]
+    fn station_bounds_contain_truth_for_both_sketch_kinds(
+        parts in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..200.0, 1..150), 1..6),
+        use_gk in any::<bool>(),
+        a_code in 0u64..256,
+        b_code in 0u64..256,
+    ) {
+        let quantizer = Quantizer::new(0.0, 200.0, 8);
+        let (a, b) = (a_code.min(b_code), a_code.max(b_code));
+        let mut station = SketchStation::new();
+        let sketches = if use_gk {
+            gk_partitions(&parts, 0.02)
+        } else {
+            digest_partitions(&parts, &quantizer, 32)
+        };
+        for sketch in sketches {
+            station.ingest(sketch);
+        }
+        let truth = parts.iter().flatten()
+            .filter(|&&v| { let c = quantizer.quantize(v); c >= a && c <= b })
+            .count() as u64;
+        let bounds = station.range_count_bounds(&quantizer, a, b);
+        prop_assert!(bounds.contains(truth),
+            "truth {truth} outside [{}, {}] (gk={use_gk})", bounds.lower, bounds.upper);
+        prop_assert_eq!(station.total_population() as usize,
+            parts.iter().map(Vec::len).sum::<usize>());
+    }
+}

@@ -1,0 +1,95 @@
+//! The adversary of §II-B / Example 4.1: instead of paying for one
+//! accurate answer, buy several cheap noisy answers to the same range and
+//! average them. This example runs the attack against three pricing
+//! functions — the attack fails against the compliant families and
+//! succeeds against a broken one — and then demonstrates a *live* attack
+//! through the broker pipeline.
+//!
+//! ```text
+//! cargo run --release --example arbitrage_attack
+//! ```
+
+use prc::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 17_568;
+    let model = ChebyshevVariance::new(n);
+    let target = (0.03, 0.9); // the accuracy the adversary wants
+    let targets = [target];
+    let config = AttackConfig::default();
+
+    println!("adversary wants Λ(α={}, δ={}) — variance {:.0}\n", target.0, target.1,
+        model.variance(target.0, target.1));
+
+    // 1. Static certification of three pricing functions.
+    let inverse = InverseVariancePricing::new(1e9, model);
+    let sqrt = SqrtPrecisionPricing::new(1e5, model);
+    let broken = LinearDeltaPricing::new(10.0);
+
+    report("InverseVariance (π = c/V)", find_arbitrage(&inverse, &model, &targets, &config), inverse.price(target.0, target.1));
+    report("SqrtPrecision (π = c/√V)", find_arbitrage(&sqrt, &model, &targets, &config), sqrt.price(target.0, target.1));
+    report("LinearDelta (broken)", find_arbitrage(&broken, &model, &targets, &config), broken.price(target.0, target.1));
+
+    // 2. A live attack through the broker: buy 9 answers at a loose
+    //    accuracy and average them, then compare against one strict answer.
+    let dataset = CityPulseGenerator::new(7).generate();
+    let query = RangeQuery::new(80.0, 120.0)?;
+    let strict = Accuracy::new(target.0, target.1)?;
+    // A bundle accuracy whose variance is ~9x the target: averaging 9
+    // copies reaches the target's variance.
+    let loose_alpha = target.0 * 3.0;
+    let loose = Accuracy::new(loose_alpha, target.1)?;
+
+    let network =
+        FlatNetwork::from_dataset(&dataset, AirQualityIndex::Ozone, 50, PartitionStrategy::RoundRobin, 7);
+    let truth = network.exact_range_count(80.0, 120.0) as f64;
+    let mut broker = DataBroker::new(network, 7);
+
+    let mut bundle = AnswerBundle::new();
+    for _ in 0..9 {
+        bundle.push(broker.answer(&QueryRequest::new(query, loose))?);
+    }
+    let single = broker.answer(&QueryRequest::new(query, strict))?;
+
+    let single_price = inverse.price(strict.alpha(), strict.delta());
+    let bundle_price = 9.0 * inverse.price(loose.alpha(), loose.delta());
+    println!("\nlive replay (truth = {truth}):");
+    println!(
+        "  single strict answer:  value {:>9.1}   price {:>12.2}",
+        single.value, single_price
+    );
+    println!(
+        "  9-answer loose bundle: value {:>9.1}   price {:>12.2}  (avg of 9 cheap buys)",
+        bundle.combined_value().unwrap(),
+        bundle_price
+    );
+    println!(
+        "  bundle variance bound {:.0} vs single {:.0}",
+        bundle.combined_variance_bound().unwrap(),
+        single.variance_bound
+    );
+    if bundle_price >= single_price * (1.0 - 1e-9) {
+        println!("  => no saving: under π = c/V the bundle costs {:.1}% of the single answer — arbitrage neutralized",
+            bundle_price / single_price * 100.0);
+    } else {
+        println!("  => ARBITRAGE: the bundle is cheaper!");
+    }
+    Ok(())
+}
+
+fn report(name: &str, attacks: Vec<prc::pricing::arbitrage::ArbitrageAttack>, posted: f64) {
+    if attacks.is_empty() {
+        println!("{name:<28} SAFE      (posted price {posted:.2}; no bundle beats it)");
+    } else {
+        let best = attacks
+            .iter()
+            .max_by(|a, b| a.saving().partial_cmp(&b.saving()).unwrap())
+            .unwrap();
+        println!(
+            "{name:<28} EXPLOITED (posted {posted:.2}; bundle of {} costs {:.2} — adversary saves {:.1}%)",
+            best.bundle.len(),
+            best.bundle_cost,
+            best.saving() / best.target_price * 100.0
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! `prc-cli` — command-line front end for the private range-counting
+//! marketplace. See `prc::cli::usage` for the subcommands.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" || args[0] == "help" {
+        print!("{}", prc::cli::usage());
+        return ExitCode::SUCCESS;
+    }
+    let command = match prc::cli::parse(&args) {
+        Ok(command) => command,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{}", prc::cli::usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let stdout = std::io::stdout();
+    match prc::cli::run(&command, &mut stdout.lock()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Failure injection end to end: how the pipeline degrades when the IoT
+//! network is unhealthy.
+
+use prc::core::estimator::{RangeCountEstimator, RankCounting};
+use prc::prelude::*;
+
+fn partitions(k: usize, per_node: usize) -> Vec<Vec<f64>> {
+    (0..k)
+        .map(|i| (0..per_node).map(|j| (i * per_node + j) as f64).collect())
+        .collect()
+}
+
+#[test]
+fn dropout_biases_low_proportionally() {
+    // Killing ~25% of the nodes should remove ~25% of a uniform count.
+    let k = 40;
+    let per_node = 250;
+    let query = RangeQuery::new(0.0, 1e9).unwrap(); // everything
+    let truth = (k * per_node) as f64;
+
+    let mut net = FlatNetwork::from_partitions(partitions(k, per_node), 8);
+    net.set_failure_plan(FailurePlan::new(0.25, 0.0, LossMode::Retransmit, 8));
+    net.collect_samples(0.5);
+    let est = RankCounting.estimate(net.station(), query);
+    let surviving_fraction = net.station().total_population() as f64 / truth;
+    assert!(
+        (est / truth - surviving_fraction).abs() < 0.05,
+        "estimate {est} should track surviving population {surviving_fraction}"
+    );
+    assert!(surviving_fraction < 0.95, "the plan should have killed nodes");
+}
+
+#[test]
+fn retransmit_loss_changes_cost_not_answers() {
+    let parts = partitions(20, 400);
+    let query = RangeQuery::new(1_000.0, 6_000.0).unwrap();
+
+    let mut clean = FlatNetwork::from_partitions(parts.clone(), 4);
+    clean.collect_samples(0.3);
+    let clean_est = RankCounting.estimate(clean.station(), query);
+
+    let mut lossy = FlatNetwork::from_partitions(parts, 4);
+    lossy.set_failure_plan(FailurePlan::new(0.0, 0.4, LossMode::Retransmit, 99));
+    lossy.collect_samples(0.3);
+    let lossy_est = RankCounting.estimate(lossy.station(), query);
+
+    assert_eq!(clean_est, lossy_est, "retransmission must not change the data");
+    assert!(
+        lossy.meter().snapshot().messages > clean.meter().snapshot().messages,
+        "retransmission must cost messages"
+    );
+}
+
+#[test]
+fn broker_still_answers_under_partial_failure() {
+    let mut network = FlatNetwork::from_partitions(partitions(30, 300), 6);
+    network.set_failure_plan(FailurePlan::new(0.15, 0.1, LossMode::Retransmit, 6));
+    let mut broker = DataBroker::new(network, 6);
+    let request = QueryRequest::new(
+        RangeQuery::new(1_000.0, 8_000.0).unwrap(),
+        Accuracy::new(0.15, 0.5).unwrap(),
+    );
+    let answer = broker.answer(&request).unwrap();
+    assert!(answer.value.is_finite());
+    // The broker's shape reflects only surviving nodes.
+    assert!(broker.network().station().node_count() < 30);
+}
+
+#[test]
+fn total_network_death_is_reported_not_panicked() {
+    let mut network = FlatNetwork::from_partitions(partitions(5, 100), 7);
+    let mut plan = FailurePlan::none();
+    for i in 0..5 {
+        plan.kill_node(prc::net::message::NodeId(i));
+    }
+    network.set_failure_plan(plan);
+    let mut broker = DataBroker::new(network, 7);
+    let request = QueryRequest::new(
+        RangeQuery::new(0.0, 100.0).unwrap(),
+        Accuracy::new(0.1, 0.5).unwrap(),
+    );
+    assert!(matches!(broker.answer(&request), Err(CoreError::NoSamples)));
+}
+
+#[test]
+fn tree_network_failure_cuts_subtrees_end_to_end() {
+    let mut tree = TreeNetwork::from_partitions(partitions(15, 200), 2, 5);
+    let mut plan = FailurePlan::none();
+    plan.kill_node(prc::net::message::NodeId(1));
+    tree.set_failure_plan(plan);
+    tree.collect_samples(0.5);
+    // Node 1's subtree in a binary tree over 15 nodes: 1,3,4,7,8,9,10 — 7 nodes.
+    assert_eq!(tree.station().node_count(), 8);
+    let (count, messages, _) = tree.aggregate_exact_count(0.0, 1e9);
+    assert_eq!(messages, 8);
+    assert_eq!(count, 8 * 200);
+}

@@ -1,0 +1,162 @@
+//! Statistical verification of the paper's theorems across crates.
+
+use prc::core::accuracy::{achieved_delta, required_probability_clamped};
+use prc::core::estimator::{RangeCountEstimator, RankCounting};
+use prc::core::exact::range_count;
+use prc::core::optimizer::{optimize, NetworkShape, OptimizerConfig};
+use prc::prelude::*;
+
+/// Theorem 3.3 end to end: sampling at the prescribed probability makes
+/// the *sampling-only* estimate an (α, δ)-range counting.
+#[test]
+fn theorem_3_3_coverage_holds_empirically() {
+    let k = 20;
+    let per_node = 400;
+    let n = k * per_node;
+    let accuracy = Accuracy::new(0.07, 0.7).unwrap();
+    let p = required_probability_clamped(accuracy, k, n).unwrap();
+    assert!(p < 1.0, "test should exercise real sampling, got p = {p}");
+
+    let partitions: Vec<Vec<f64>> = (0..k)
+        .map(|i| (0..per_node).map(|j| (i * per_node + j) as f64).collect())
+        .collect();
+    let query = RangeQuery::new(1_000.0, 5_000.0).unwrap();
+    let truth = partitions
+        .iter()
+        .map(|part| range_count(part, query))
+        .sum::<usize>() as f64;
+
+    let trials = 400;
+    let mut hits = 0;
+    for seed in 0..trials {
+        let mut net = FlatNetwork::from_partitions(partitions.clone(), seed);
+        net.collect_samples(p);
+        let est = RankCounting.estimate(net.station(), query);
+        if (est - truth).abs() <= accuracy.alpha() * n as f64 {
+            hits += 1;
+        }
+    }
+    let rate = hits as f64 / trials as f64;
+    assert!(
+        rate >= accuracy.delta(),
+        "Theorem 3.3 violated: coverage {rate} < δ = {}",
+        accuracy.delta()
+    );
+}
+
+/// Theorem 3.2: the global estimator's empirical variance respects 8k/p².
+#[test]
+fn theorem_3_2_variance_bound_holds() {
+    let k = 6;
+    let per_node = 500;
+    let p = 0.2;
+    let partitions: Vec<Vec<f64>> = (0..k)
+        .map(|i| (0..per_node).map(|j| (i + j * k) as f64).collect())
+        .collect();
+    let query = RangeQuery::new(500.0, 2_300.0).unwrap();
+    let truth = partitions
+        .iter()
+        .map(|part| range_count(part, query))
+        .sum::<usize>() as f64;
+
+    let trials = 2_500;
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    for seed in 0..trials {
+        let mut net = FlatNetwork::from_partitions(partitions.clone(), seed + 1_000);
+        net.collect_samples(p);
+        let est = RankCounting.estimate(net.station(), query);
+        sum += est;
+        sum_sq += (est - truth).powi(2);
+    }
+    let mean = sum / trials as f64;
+    let mse = sum_sq / trials as f64;
+    let bound = 8.0 * k as f64 / (p * p);
+    assert!((mean - truth).abs() < 3.0, "bias too large: mean {mean} vs {truth}");
+    assert!(mse <= bound * 1.1, "MSE {mse} exceeds bound {bound}");
+}
+
+/// Lemma 3.4 consistency: the optimizer's effective ε′ equals the
+/// amplification of its base ε at the sampling probability.
+#[test]
+fn lemma_3_4_is_applied_consistently() {
+    let shape = NetworkShape::new(50, 17_568);
+    let accuracy = Accuracy::new(0.1, 0.6).unwrap();
+    for p in [0.1, 0.3, 0.7] {
+        let plan = optimize(accuracy, p, shape, &OptimizerConfig::default()).unwrap();
+        let expected = amplify(plan.epsilon, p).unwrap();
+        assert!((plan.effective_epsilon.value() - expected.value()).abs() < 1e-12);
+        assert!(plan.effective_epsilon.value() < plan.epsilon.value());
+    }
+}
+
+/// The optimizer's composed guarantee: running the *whole* two-phase
+/// pipeline (sampling at p, then Laplace noise at the planned ε) meets the
+/// customer's (α, δ) demand empirically.
+#[test]
+fn optimizer_composition_meets_the_accuracy_demand() {
+    let k = 20;
+    let per_node = 500;
+    let n = k * per_node;
+    let accuracy = Accuracy::new(0.06, 0.6).unwrap();
+    let p = 0.35;
+    let shape = NetworkShape::new(k, n);
+    let plan = optimize(accuracy, p, shape, &OptimizerConfig::default()).unwrap();
+
+    let partitions: Vec<Vec<f64>> = (0..k)
+        .map(|i| (0..per_node).map(|j| (i * per_node + j) as f64).collect())
+        .collect();
+    let query = RangeQuery::new(2_000.0, 8_000.0).unwrap();
+    let truth = partitions
+        .iter()
+        .map(|part| range_count(part, query))
+        .sum::<usize>() as f64;
+
+    use rand::SeedableRng;
+    let noise = Laplace::centered(plan.noise_scale).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    let trials = 500;
+    let mut hits = 0;
+    for seed in 0..trials {
+        let mut net = FlatNetwork::from_partitions(partitions.clone(), seed + 40_000);
+        net.collect_samples(p);
+        let est = RankCounting.estimate(net.station(), query) + noise.sample(&mut rng);
+        if (est - truth).abs() <= accuracy.alpha() * n as f64 {
+            hits += 1;
+        }
+    }
+    let rate = hits as f64 / trials as f64;
+    assert!(
+        rate >= accuracy.delta(),
+        "two-phase guarantee violated: {rate} < {}",
+        accuracy.delta()
+    );
+}
+
+/// Theorem 4.2 + Definition 2.3 cross-check: the canonical price passes
+/// both the literal property checker and the operational attack simulator,
+/// on the same model.
+#[test]
+fn pricing_theorem_and_operational_definitions_agree_on_the_canonical_price() {
+    use prc::pricing::theorem::{check_theorem_4_2, TheoremCheckConfig};
+    let model = ChebyshevVariance::new(17_568);
+    let pricing = InverseVariancePricing::new(1e9, model);
+    assert!(check_theorem_4_2(&pricing, &model, &TheoremCheckConfig::default()).is_empty());
+    let targets = [(0.03, 0.9), (0.1, 0.5)];
+    assert!(certify(&pricing, &model, &targets, &AttackConfig::default()).is_ok());
+}
+
+/// δ′(p) really is the inverse of Theorem 3.3's probability bound.
+#[test]
+fn accuracy_calculus_round_trips() {
+    let k = 50;
+    let n = 17_568;
+    for (alpha, delta) in [(0.05, 0.5), (0.1, 0.8), (0.3, 0.2)] {
+        let accuracy = Accuracy::new(alpha, delta).unwrap();
+        let p = required_probability_clamped(accuracy, k, n).unwrap();
+        if p < 1.0 {
+            let d = achieved_delta(p, alpha, k, n).unwrap();
+            assert!((d - delta).abs() < 1e-9, "({alpha}, {delta}): δ′ = {d}");
+        }
+    }
+}
