@@ -19,9 +19,7 @@ fn bench_optimizer(c: &mut Criterion) {
         };
         group.bench_with_input(BenchmarkId::new("grid", grid), &grid, |b, _| {
             b.iter(|| {
-                black_box(
-                    optimize(black_box(accuracy), black_box(0.4), shape, &config).unwrap(),
-                )
+                black_box(optimize(black_box(accuracy), black_box(0.4), shape, &config).unwrap())
             });
         });
     }

@@ -68,5 +68,7 @@ fn main() {
         &rows,
     );
     let crossover = 8.0 * NODES as f64 / (p * (1.0 - p));
-    println!("\ntheory crossover: BasicCounting wins only when γ < 8k/(p(1−p)) ≈ {crossover:.0} records");
+    println!(
+        "\ntheory crossover: BasicCounting wins only when γ < 8k/(p(1−p)) ≈ {crossover:.0} records"
+    );
 }

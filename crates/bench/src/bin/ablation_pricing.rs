@@ -58,9 +58,19 @@ fn main() {
         rows.push(vec![
             f.name().to_string(),
             format!("{}", violations.len()),
-            if violations.is_empty() { "PASS" } else { "FAIL" }.into(),
+            if violations.is_empty() {
+                "PASS"
+            } else {
+                "FAIL"
+            }
+            .into(),
             format!("{}", attacks.len()),
-            if attacks.is_empty() { "SAFE" } else { "EXPLOITED" }.into(),
+            if attacks.is_empty() {
+                "SAFE"
+            } else {
+                "EXPLOITED"
+            }
+            .into(),
             if attacks.is_empty() {
                 "-".into()
             } else {

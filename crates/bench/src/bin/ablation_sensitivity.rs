@@ -63,7 +63,14 @@ fn main() {
     }
     print_table(
         "Ablation A2 — sensitivity policy impact (ozone, k=50, interquartile query)",
-        &["demand (α, δ)", "policy", "ε", "effective ε′", "noise scale b", "rel err"],
+        &[
+            "demand (α, δ)",
+            "policy",
+            "ε",
+            "effective ε′",
+            "noise scale b",
+            "rel err",
+        ],
         &rows,
     );
     println!("\nexpected shape: worst-case sensitivity inflates ε (weaker privacy) for the same accuracy —\nthe paper's 1/p choice dominates on both axes");

@@ -1,0 +1,213 @@
+//! Batched-broker throughput benchmark.
+//!
+//! Answers the same 64-query mixed-accuracy workload three ways —
+//! sequential `answer()` calls over a `FlatNetwork`, `answer_batch` over
+//! a `FlatNetwork`, and `answer_batch` over a `ThreadedNetwork` — and
+//! emits a JSON report with queries/sec for each mode, the speedups over
+//! the sequential baseline, the batch's per-stage counters, and a
+//! determinism check (two batched flat runs with the same seed must
+//! release bit-identical answers).
+//!
+//! The workload repeats each of 16 distinct `(range, α, δ)` requests four
+//! times: repeats are what the batched engine's arbitrage-consistent
+//! answer cache exists for, and what a real marketplace sees when many
+//! buyers ask the popular queries.
+//!
+//! Run with `cargo run -p prc-bench --release --bin bench_batch`.
+
+use std::time::Instant;
+
+use prc_core::broker::{BatchStats, DataBroker};
+use prc_core::optimizer::OptimizerConfig;
+use prc_core::query::{Accuracy, QueryRequest, RangeQuery};
+use prc_net::network::{FlatNetwork, Network, ThreadedNetwork};
+use prc_pricing::functions::InverseVariancePricing;
+use prc_pricing::reuse::{PostedPriceReuse, ReuseGuard};
+use prc_pricing::variance::ChebyshevVariance;
+
+const SEED: u64 = 2014;
+const NODES: usize = 16;
+const PER_NODE: usize = 25_000;
+const DISTINCT_QUERIES: usize = 16;
+const REPEATS: usize = 4;
+/// High-resolution perturbation planning, identical in every mode: the
+/// finer the `α′` grid, the closer each plan is to the true optimum of
+/// problem (3) — and the more a repeated request benefits from the cache.
+const GRID_POINTS: usize = 10_000;
+
+fn optimizer() -> OptimizerConfig {
+    OptimizerConfig {
+        grid_points: GRID_POINTS,
+        ..OptimizerConfig::default()
+    }
+}
+
+fn partitions() -> Vec<Vec<f64>> {
+    // Round-robin global values 0..n so every range spans every node.
+    (0..NODES)
+        .map(|i| (0..PER_NODE).map(|j| (i + NODES * j) as f64).collect())
+        .collect()
+}
+
+fn workload() -> Vec<QueryRequest> {
+    let n = (NODES * PER_NODE) as f64;
+    let alphas = [0.05, 0.08, 0.1, 0.15];
+    let deltas = [0.5, 0.6, 0.7, 0.8];
+    let mut distinct = Vec::with_capacity(DISTINCT_QUERIES);
+    for i in 0..DISTINCT_QUERIES {
+        let lo = n * 0.05 * (i % 8) as f64;
+        let hi = lo + n * (0.2 + 0.04 * (i % 5) as f64);
+        let query = RangeQuery::new(lo, hi.min(n)).expect("valid range");
+        let accuracy =
+            Accuracy::new(alphas[i % alphas.len()], deltas[i % deltas.len()]).expect("valid");
+        distinct.push(QueryRequest::new(query, accuracy));
+    }
+    // Interleave the repeats so duplicates are spread across the batch.
+    let mut requests = Vec::with_capacity(DISTINCT_QUERIES * REPEATS);
+    for _ in 0..REPEATS {
+        requests.extend(distinct.iter().copied());
+    }
+    requests
+}
+
+fn reuse_guard() -> Box<dyn ReuseGuard> {
+    let model = ChebyshevVariance::new(NODES * PER_NODE);
+    Box::new(PostedPriceReuse::new(
+        InverseVariancePricing::new(1e9, model),
+        model,
+    ))
+}
+
+struct ModeResult {
+    label: &'static str,
+    seconds: f64,
+    answered: usize,
+    values: Vec<u64>,
+    stats: Option<BatchStats>,
+}
+
+fn queries_per_sec(requests: usize, seconds: f64) -> f64 {
+    requests as f64 / seconds.max(1e-12)
+}
+
+fn run_sequential(requests: &[QueryRequest]) -> ModeResult {
+    let mut broker = DataBroker::new(FlatNetwork::from_partitions(partitions(), SEED), SEED);
+    broker.set_optimizer_config(optimizer());
+    let start = Instant::now();
+    let mut values = Vec::with_capacity(requests.len());
+    for request in requests {
+        let answer = broker.answer(request).expect("sequential answer");
+        values.push(answer.value.to_bits());
+    }
+    ModeResult {
+        label: "sequential_flat",
+        seconds: start.elapsed().as_secs_f64(),
+        answered: values.len(),
+        values,
+        stats: None,
+    }
+}
+
+fn run_batched<N: Network>(
+    label: &'static str,
+    network: N,
+    requests: &[QueryRequest],
+) -> ModeResult {
+    let mut broker = DataBroker::new(network, SEED);
+    broker.set_optimizer_config(optimizer());
+    broker.enable_answer_cache(reuse_guard());
+    let start = Instant::now();
+    let report = broker.answer_batch(requests);
+    let seconds = start.elapsed().as_secs_f64();
+    let values: Vec<u64> = report
+        .answers
+        .iter()
+        .map(|r| r.as_ref().expect("batched answer").value.to_bits())
+        .collect();
+    ModeResult {
+        label,
+        seconds,
+        answered: values.len(),
+        values,
+        stats: Some(report.stats),
+    }
+}
+
+fn mode_json(mode: &ModeResult, total_requests: usize) -> String {
+    let mut fields = vec![
+        format!("\"mode\": \"{}\"", mode.label),
+        format!("\"seconds\": {:.6}", mode.seconds),
+        format!(
+            "\"queries_per_sec\": {:.2}",
+            queries_per_sec(total_requests, mode.seconds)
+        ),
+        format!("\"answered\": {}", mode.answered),
+    ];
+    if let Some(stats) = &mode.stats {
+        fields.push(format!(
+            "\"stats\": {{\"rate_tiers\": {}, \"collection_rounds\": {}, \"samples_collected\": {}, \"cache_hits\": {}, \"chargeable_messages\": {}, \"fan_out_threads\": {}}}",
+            stats.rate_tiers,
+            stats.collection_rounds,
+            stats.samples_collected,
+            stats.cache_hits,
+            stats.chargeable_messages,
+            stats.fan_out_threads,
+        ));
+    }
+    format!("    {{{}}}", fields.join(", "))
+}
+
+fn main() {
+    let requests = workload();
+    let total = requests.len();
+
+    let sequential = run_sequential(&requests);
+    let batched_flat = run_batched(
+        "batched_flat",
+        FlatNetwork::from_partitions(partitions(), SEED),
+        &requests,
+    );
+    // Determinism: a second batched flat run with the same seed must
+    // release bit-identical answers.
+    let batched_flat_again = run_batched(
+        "batched_flat_rerun",
+        FlatNetwork::from_partitions(partitions(), SEED),
+        &requests,
+    );
+    let batched_threaded = run_batched(
+        "batched_threaded",
+        ThreadedNetwork::from_partitions(partitions(), SEED),
+        &requests,
+    );
+
+    let deterministic = batched_flat.values == batched_flat_again.values;
+    let drivers_agree = batched_flat.values == batched_threaded.values;
+    let seq_qps = queries_per_sec(total, sequential.seconds);
+    let speedup_flat = queries_per_sec(total, batched_flat.seconds) / seq_qps;
+    let speedup_threaded = queries_per_sec(total, batched_threaded.seconds) / seq_qps;
+
+    let modes = [&sequential, &batched_flat, &batched_threaded]
+        .iter()
+        .map(|m| mode_json(m, total))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"workload\": {{\"requests\": {total}, \"distinct\": {DISTINCT_QUERIES}, \"nodes\": {NODES}, \"population\": {}, \"seed\": {SEED}}},\n  \"modes\": [\n{modes}\n  ],\n  \"speedup_vs_sequential\": {{\"batched_flat\": {speedup_flat:.2}, \"batched_threaded\": {speedup_threaded:.2}}},\n  \"deterministic_flat\": {deterministic},\n  \"flat_threaded_identical\": {drivers_agree}\n}}",
+        NODES * PER_NODE,
+    );
+    println!("{json}");
+
+    let dir = std::path::Path::new("target/bench");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join("bench_batch.json");
+        if std::fs::write(&path, &json).is_ok() {
+            eprintln!("json: {}", path.display());
+        }
+    }
+
+    assert!(deterministic, "batched flat runs must be bit-identical");
+    assert!(
+        drivers_agree,
+        "flat and threaded drivers must release identical answers"
+    );
+}

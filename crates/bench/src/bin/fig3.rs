@@ -57,7 +57,13 @@ fn main() {
             format!("{:.3}", (1.0 - level).sqrt()),
         ]);
     }
-    let headers = ["alpha=delta", "p (Thm 3.3)", "max err/(alpha n)", "max err/n", "theory sqrt(1-delta)"];
+    let headers = [
+        "alpha=delta",
+        "p (Thm 3.3)",
+        "max err/(alpha n)",
+        "max err/n",
+        "theory sqrt(1-delta)",
+    ];
     print_table(
         "Fig. 3 — max relative error vs accuracy demand α = δ (Thm 3.3 sampling, ozone, k=50)",
         &headers,

@@ -37,7 +37,13 @@ fn main() {
             format!("{}", cost.samples),
         ]);
     }
-    let headers = ["data size", "records", "required p", "expected samples n*p", "measured samples"];
+    let headers = [
+        "data size",
+        "records",
+        "required p",
+        "expected samples n*p",
+        "measured samples",
+    ];
     print_table(
         "Fig. 4 — sampling probability vs data size (α=0.055, δ=0.5, k=50)",
         &headers,

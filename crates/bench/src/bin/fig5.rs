@@ -15,8 +15,8 @@ use prc_bench::{
 };
 use prc_core::broker::DataBroker;
 use prc_core::exact::range_count;
-use prc_dp::budget::Epsilon;
 use prc_data::record::AirQualityIndex;
+use prc_dp::budget::Epsilon;
 
 fn main() {
     let dataset = standard_dataset();

@@ -15,8 +15,8 @@ use prc_bench::{
 };
 use prc_core::broker::DataBroker;
 use prc_core::exact::range_count;
-use prc_dp::budget::Epsilon;
 use prc_data::record::AirQualityIndex;
+use prc_dp::budget::Epsilon;
 
 fn main() {
     let dataset = standard_dataset();
@@ -31,7 +31,8 @@ fn main() {
         // One network per p row, shared by every ε column, so the columns
         // differ only in the Laplace noise they add.
         let network_seed = SEED + 17 * i as u64;
-        let mut broker = DataBroker::new(build_network(&dataset, index, network_seed), network_seed);
+        let mut broker =
+            DataBroker::new(build_network(&dataset, index, network_seed), network_seed);
         let mut row = vec![format!("{p:.4}")];
         for &eps in &epsilons {
             let epsilon = Epsilon::new(eps).expect("positive epsilon");

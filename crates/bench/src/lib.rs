@@ -200,7 +200,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     };
     let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
     println!("{}", fmt_row(&header_cells));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -242,13 +245,21 @@ mod tests {
 
     #[test]
     fn error_scaling_modes() {
-        assert_eq!(scale_error(10.0, 100.0, 1_000, ErrorScale::RelativeToTruth), 0.1);
+        assert_eq!(
+            scale_error(10.0, 100.0, 1_000, ErrorScale::RelativeToTruth),
+            0.1
+        );
         assert_eq!(
             scale_error(10.0, 100.0, 1_000, ErrorScale::RelativeToPopulation),
             0.01
         );
         assert_eq!(
-            scale_error(10.0, 100.0, 1_000, ErrorScale::RelativeToAllowance { alpha: 0.1 }),
+            scale_error(
+                10.0,
+                100.0,
+                1_000,
+                ErrorScale::RelativeToAllowance { alpha: 0.1 }
+            ),
             0.1
         );
         // Zero truth falls back to the absolute error.

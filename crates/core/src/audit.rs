@@ -150,9 +150,7 @@ pub fn audit_answer(answer: &PrivateAnswer, shape: NetworkShape) -> Vec<AuditFin
     }
     // 5. ε and ε′ bookkeeping.
     let implied_epsilon = plan.sensitivity / plan.noise_scale;
-    if (implied_epsilon - plan.epsilon.value()).abs()
-        > TOLERANCE * plan.epsilon.value().max(1.0)
-    {
+    if (implied_epsilon - plan.epsilon.value()).abs() > TOLERANCE * plan.epsilon.value().max(1.0) {
         fail(
             AuditCheck::EpsilonScale,
             format!(
@@ -256,10 +254,8 @@ mod tests {
         let mut b = broker(2);
         let mut answer = b.answer(&request()).unwrap();
         let shape = NetworkShape::from_station(b.network().station()).unwrap();
-        answer.plan.epsilon = prc_dp::budget::Epsilon::new(
-            answer.plan.epsilon.value() / 2.0,
-        )
-        .unwrap();
+        answer.plan.epsilon =
+            prc_dp::budget::Epsilon::new(answer.plan.epsilon.value() / 2.0).unwrap();
         let findings = audit_answer(&answer, shape);
         assert!(findings.iter().any(|f| f.check == AuditCheck::EpsilonScale));
         // The amplification claim is now also inconsistent.
@@ -280,7 +276,9 @@ mod tests {
         let shape = NetworkShape::from_station(b.network().station()).unwrap();
         answer.plan.noise_scale *= 25.0; // far too much noise for (α, δ)
         let findings = audit_answer(&answer, shape);
-        assert!(findings.iter().any(|f| f.check == AuditCheck::TailConstraint));
+        assert!(findings
+            .iter()
+            .any(|f| f.check == AuditCheck::TailConstraint));
         assert!(findings.iter().any(|f| f.check == AuditCheck::Composition));
     }
 
@@ -291,7 +289,9 @@ mod tests {
         let shape = NetworkShape::from_station(b.network().station()).unwrap();
         answer.variance_bound = answer.plan.noise_variance() / 2.0;
         let findings = audit_answer(&answer, shape);
-        assert!(findings.iter().any(|f| f.check == AuditCheck::VarianceBound));
+        assert!(findings
+            .iter()
+            .any(|f| f.check == AuditCheck::VarianceBound));
     }
 
     #[test]

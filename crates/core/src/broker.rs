@@ -1,12 +1,24 @@
 //! The data broker (§II-A): the entity that owns sample collection,
 //! estimation, perturbation, and privacy accounting.
+//!
+//! The broker is generic over the network driver (any
+//! [`prc_net::network::Network`]) and over the estimator. Besides the
+//! one-request [`DataBroker::answer`] pipeline it offers a batched engine,
+//! [`DataBroker::answer_batch`], which partitions a request batch by
+//! required sampling rate, collects samples once per rate tier, fans the
+//! per-tier estimator evaluations out over crossbeam scoped threads, and
+//! serves repeat requests from an arbitrage-consistent answer cache
+//! guarded by the pricing layer ([`prc_pricing::reuse`]).
+
+use std::collections::BTreeMap;
 
 use prc_dp::budget::{BudgetAccountant, Epsilon};
 use prc_dp::laplace::Laplace;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use prc_net::network::FlatNetwork;
+use prc_net::network::{FlatNetwork, Network};
+use prc_pricing::reuse::{Demand, ReuseGuard};
 
 use crate::accuracy::required_probability_clamped;
 use crate::error::CoreError;
@@ -78,7 +90,69 @@ pub struct PrivateAnswer {
     pub variance_bound: f64,
 }
 
-/// The data broker: answers `Λ(α, δ)` requests over a [`FlatNetwork`].
+/// Per-stage counters accumulated across a broker's lifetime.
+///
+/// Every pipeline stage reports into these: sample collection (rounds and
+/// delivered entries), the answer cache (hits and misses, counted only
+/// while a reuse guard is installed), and the release stage. Message and
+/// byte traffic lives in the network's [`prc_net::network::CostMeter`];
+/// epoch-level consumers combine both views.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct StageCounters {
+    /// Collection rounds that actually topped the network up.
+    pub collection_rounds: u64,
+    /// Sample entries delivered to the base station by those rounds.
+    pub samples_collected: u64,
+    /// Requests served from the answer cache.
+    pub cache_hits: u64,
+    /// Cache lookups that had to fall through to the full pipeline.
+    pub cache_misses: u64,
+    /// Answers released (fresh and cached).
+    pub answers_released: u64,
+}
+
+/// Aggregate statistics for one [`DataBroker::answer_batch`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct BatchStats {
+    /// Requests in the batch.
+    pub requests: u64,
+    /// Distinct sampling-rate tiers the batch partitioned into.
+    pub rate_tiers: u64,
+    /// Collection rounds run for this batch.
+    pub collection_rounds: u64,
+    /// Sample entries delivered during this batch.
+    pub samples_collected: u64,
+    /// Requests served from the answer cache.
+    pub cache_hits: u64,
+    /// Chargeable (non-piggybacked) messages the batch added to the meter.
+    pub chargeable_messages: u64,
+    /// Widest estimator fan-out used by any tier.
+    pub fan_out_threads: u64,
+}
+
+/// The outcome of one batched call: per-request results in input order,
+/// plus the batch's stage statistics.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// One result per input request, in input order.
+    pub answers: Vec<Result<PrivateAnswer, CoreError>>,
+    /// Per-stage statistics for this batch.
+    pub stats: BatchStats,
+}
+
+impl BatchReport {
+    /// The released answers, discarding per-request errors.
+    pub fn released(&self) -> impl Iterator<Item = &PrivateAnswer> {
+        self.answers.iter().filter_map(|r| r.as_ref().ok())
+    }
+}
+
+/// Cache key: the queried range and the Laplace budget of the stored
+/// plan, all as exact bit patterns (grouped by range, so lookups scan the
+/// contiguous key span of one range).
+type CacheKey = (u64, u64, u64);
+
+/// The data broker: answers `Λ(α, δ)` requests over any [`Network`].
 ///
 /// The broker follows the paper's two-phase pipeline:
 ///
@@ -89,27 +163,35 @@ pub struct PrivateAnswer {
 /// 4. inject `Lap(Δγ̂/ε)` noise and release.
 ///
 /// An optional [`BudgetAccountant`] enforces a total privacy cap across
-/// queries (sequential composition of the *effective* budgets).
+/// queries (sequential composition of the *effective* budgets). An
+/// optional answer cache ([`DataBroker::enable_answer_cache`]) re-serves
+/// prior noisy answers when the pricing layer's [`ReuseGuard`] confirms
+/// the reuse cannot undercut the posted price curve; re-releasing an
+/// already-released value is privacy-free (post-processing), so cache
+/// hits spend no budget.
 #[derive(Debug)]
-pub struct DataBroker<E = RankCounting> {
-    network: FlatNetwork,
+pub struct DataBroker<E = RankCounting, N = FlatNetwork> {
+    network: N,
     estimator: E,
     optimizer_config: OptimizerConfig,
     sampling_policy: SamplingPolicy,
     accountant: Option<BudgetAccountant>,
     rng: StdRng,
+    reuse_guard: Option<Box<dyn ReuseGuard>>,
+    cache: BTreeMap<CacheKey, PrivateAnswer>,
+    counters: StageCounters,
 }
 
-impl DataBroker<RankCounting> {
+impl<N: Network> DataBroker<RankCounting, N> {
     /// Creates a broker using the paper's RankCounting estimator.
-    pub fn new(network: FlatNetwork, seed: u64) -> Self {
+    pub fn new(network: N, seed: u64) -> Self {
         DataBroker::with_estimator(network, RankCounting, seed)
     }
 }
 
-impl<E: RangeCountEstimator> DataBroker<E> {
+impl<E: RangeCountEstimator, N: Network> DataBroker<E, N> {
     /// Creates a broker with a custom estimator.
-    pub fn with_estimator(network: FlatNetwork, estimator: E, seed: u64) -> Self {
+    pub fn with_estimator(network: N, estimator: E, seed: u64) -> Self {
         DataBroker {
             network,
             estimator,
@@ -117,6 +199,9 @@ impl<E: RangeCountEstimator> DataBroker<E> {
             sampling_policy: SamplingPolicy::default(),
             accountant: None,
             rng: StdRng::seed_from_u64(seed ^ 0xb5ad_4ece_da1c_e2a9),
+            reuse_guard: None,
+            cache: BTreeMap::new(),
+            counters: StageCounters::default(),
         }
     }
 
@@ -141,17 +226,52 @@ impl<E: RangeCountEstimator> DataBroker<E> {
         self.accountant.as_ref()
     }
 
+    /// Enables the answer cache behind a pricing-layer reuse guard.
+    ///
+    /// With a guard installed, [`DataBroker::answer`] and
+    /// [`DataBroker::answer_batch`] re-serve a previously released answer
+    /// for a request over the same range whenever the guard allows the
+    /// reuse — i.e. the pricing layer confirms that handing out the
+    /// stored answer at the new request's posted price cannot undercut
+    /// the price curve. Without a guard (the default) every request runs
+    /// the full pipeline.
+    pub fn enable_answer_cache(&mut self, guard: Box<dyn ReuseGuard>) {
+        self.reuse_guard = Some(guard);
+    }
+
+    /// Drops the reuse guard and clears all cached answers.
+    pub fn disable_answer_cache(&mut self) {
+        self.reuse_guard = None;
+        self.cache.clear();
+    }
+
+    /// Number of answers currently cached.
+    pub fn cached_answers(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Per-stage counters accumulated so far.
+    pub fn counters(&self) -> StageCounters {
+        self.counters
+    }
+
+    /// Resets the per-stage counters to zero (the cache is kept).
+    pub fn reset_counters(&mut self) {
+        self.counters = StageCounters::default();
+    }
+
     /// The underlying network (cost-meter and ground-truth access).
-    pub fn network(&self) -> &FlatNetwork {
+    pub fn network(&self) -> &N {
         &self.network
     }
 
     /// Mutable access to the underlying network (failure injection etc.).
-    pub fn network_mut(&mut self) -> &mut FlatNetwork {
+    pub fn network_mut(&mut self) -> &mut N {
         &mut self.network
     }
 
-    /// Answers one request through the full two-phase pipeline.
+    /// Answers one request through the full two-phase pipeline, consulting
+    /// the answer cache first when one is enabled.
     ///
     /// # Errors
     ///
@@ -161,6 +281,10 @@ impl<E: RangeCountEstimator> DataBroker<E> {
     /// * [`CoreError::NoSamples`] — the network delivered nothing (e.g.
     ///   every node dead).
     pub fn answer(&mut self, request: &QueryRequest) -> Result<PrivateAnswer, CoreError> {
+        if let Some(hit) = self.cache_lookup(request) {
+            self.counters.answers_released += 1;
+            return Ok(hit);
+        }
         let k = self.network.node_count();
         let n = self.network.total_data_size();
         if n == 0 {
@@ -174,39 +298,197 @@ impl<E: RangeCountEstimator> DataBroker<E> {
 
         // Phase 2: plan the perturbation at the probability actually
         // achieved, topping up once more if the optimizer asks for it.
-        let plan = match self.plan(request.accuracy) {
-            Ok(plan) => plan,
-            Err(CoreError::InfeasibleAccuracy {
-                required_probability,
-                ..
-            }) => {
-                self.ensure_probability((required_probability * 1.05).min(1.0));
-                self.plan(request.accuracy)?
-            }
-            Err(e) => return Err(e),
-        };
+        let plan = self.plan_with_retry(request.accuracy)?;
 
         // Spend the *effective* budget before releasing anything.
         if let Some(accountant) = &mut self.accountant {
             accountant.spend(plan.effective_epsilon)?;
         }
 
-        let sample_estimate = self.estimator.estimate(self.network.station(), request.query);
-        let noise = Laplace::centered(plan.noise_scale)?.sample(&mut self.rng);
-        let shape = NetworkShape::from_station(self.network.station())?;
-        let variance_bound = self
+        let sample_estimate = self
             .estimator
-            .variance_bound(shape.k, shape.n, plan.probability)
-            + plan.noise_variance();
+            .estimate(self.network.station(), request.query);
+        let shape = NetworkShape::from_station(self.network.station())?;
+        let answer = self.release(request, plan, sample_estimate, shape)?;
+        self.cache_store(&answer);
+        Ok(answer)
+    }
 
-        Ok(PrivateAnswer {
-            query: request.query,
-            accuracy: request.accuracy,
-            value: sample_estimate + noise,
-            sample_estimate,
-            plan,
-            variance_bound,
-        })
+    /// Answers a batch of requests through the batched engine.
+    ///
+    /// The batch is partitioned by each request's *required sampling
+    /// rate*; rates are visited in ascending order, so every tier's
+    /// queries are evaluated right after the single collection round that
+    /// tops the network up to that tier (lower tiers are answered at
+    /// their own, cheaper rate — exactly what a sorted sequence of
+    /// [`DataBroker::answer`] calls would do). Within a tier, cache
+    /// lookups, perturbation planning, and budget accounting run
+    /// sequentially in input order; the estimator evaluations fan out
+    /// over crossbeam scoped threads against the shared base-station
+    /// sample; noise is then drawn sequentially in input order, keeping
+    /// the whole batch deterministic in the broker's seed regardless of
+    /// thread scheduling.
+    ///
+    /// Per-request failures (infeasible accuracy, exhausted budget) land
+    /// in that request's slot of [`BatchReport::answers`]; the rest of
+    /// the batch proceeds.
+    pub fn answer_batch(&mut self, requests: &[QueryRequest]) -> BatchReport
+    where
+        E: Sync,
+    {
+        let meter_before = self.network.meter().snapshot();
+        let counters_before = self.counters;
+        let mut fan_out_threads: u64 = 0;
+        let mut answers: Vec<Option<Result<PrivateAnswer, CoreError>>> =
+            requests.iter().map(|_| None).collect();
+
+        let k = self.network.node_count();
+        let n = self.network.total_data_size();
+        let mut tiers: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        if n == 0 {
+            answers.fill(Some(Err(CoreError::NoSamples)));
+        } else {
+            // Stage 1: partition by required sampling rate.
+            for (i, request) in requests.iter().enumerate() {
+                let internal = self.sampling_policy.internal_target(request.accuracy);
+                match required_probability_clamped(internal, k, n) {
+                    Ok(p) => tiers.entry(p.to_bits()).or_default().push(i),
+                    Err(e) => answers[i] = Some(Err(e)),
+                }
+            }
+        }
+        let rate_tiers = tiers.len() as u64;
+
+        for (p_bits, members) in tiers {
+            // Stage 2: one collection round per tier (ascending rates, so
+            // each round is an incremental top-up).
+            self.ensure_probability(f64::from_bits(p_bits));
+
+            // Stage 3: cache, planning, and budget — sequential, in input
+            // order, because they mutate broker state.
+            let mut pending: Vec<(usize, PerturbationPlan)> = Vec::new();
+            let mut deferred: Vec<usize> = Vec::new();
+            for &i in &members {
+                let request = &requests[i];
+                if let Some(hit) = self.cache_lookup(request) {
+                    self.counters.answers_released += 1;
+                    answers[i] = Some(Ok(hit));
+                    continue;
+                }
+                // A duplicate of an earlier in-flight request will be
+                // servable from the cache once the tier releases; defer
+                // it instead of planning (and paying for) it twice.
+                if let Some(guard) = self.reuse_guard.as_deref() {
+                    let requested = Demand::new(request.accuracy.alpha(), request.accuracy.delta());
+                    let duplicate = pending.iter().any(|&(j, _)| {
+                        let prior = &requests[j];
+                        prior.query == request.query
+                            && guard.allows_reuse(
+                                requested,
+                                Demand::new(prior.accuracy.alpha(), prior.accuracy.delta()),
+                            )
+                    });
+                    if duplicate {
+                        deferred.push(i);
+                        continue;
+                    }
+                }
+                let plan = match self.plan_with_retry(request.accuracy) {
+                    Ok(plan) => plan,
+                    Err(e) => {
+                        answers[i] = Some(Err(e));
+                        continue;
+                    }
+                };
+                if let Some(accountant) = &mut self.accountant {
+                    if let Err(e) = accountant.spend(plan.effective_epsilon) {
+                        answers[i] = Some(Err(e.into()));
+                        continue;
+                    }
+                }
+                pending.push((i, plan));
+            }
+            if pending.is_empty() && deferred.is_empty() {
+                continue;
+            }
+
+            if !pending.is_empty() {
+                // Stage 4: estimator fan-out over the shared sample. The
+                // station is immutable for the rest of the tier, so worker
+                // threads share it; chunked spawning keeps the result
+                // order (and therefore the released answers)
+                // deterministic.
+                let station = self.network.station();
+                let estimator = &self.estimator;
+                let threads = std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+                    .clamp(1, 8)
+                    .min(pending.len());
+                fan_out_threads = fan_out_threads.max(threads as u64);
+                let chunk_size = pending.len().div_ceil(threads);
+                let estimates: Vec<f64> = crossbeam::thread::scope(|scope| {
+                    let handles: Vec<_> = pending
+                        .chunks(chunk_size)
+                        .map(|chunk| {
+                            scope.spawn(move || {
+                                chunk
+                                    .iter()
+                                    .map(|&(i, _)| estimator.estimate(station, requests[i].query))
+                                    .collect::<Vec<f64>>()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("estimator worker panicked"))
+                        .collect()
+                })
+                .expect("estimator scope failed");
+
+                // Stage 5: noise and release, sequential in input order so
+                // the broker's noise stream is independent of the fan-out.
+                let shape = NetworkShape::from_station(self.network.station());
+                for (&(i, plan), sample_estimate) in pending.iter().zip(estimates) {
+                    let result = shape
+                        .clone()
+                        .and_then(|shape| self.release(&requests[i], plan, sample_estimate, shape));
+                    if let Ok(answer) = &result {
+                        self.cache_store(answer);
+                    }
+                    answers[i] = Some(result);
+                }
+            }
+
+            // Deferred duplicates now find their progenitor in the cache
+            // (or, if it failed, re-run the pipeline and fail the same
+            // way).
+            for i in deferred {
+                let result = self.answer(&requests[i]);
+                answers[i] = Some(result);
+            }
+        }
+
+        let meter_after = self.network.meter().snapshot();
+        let counters_after = self.counters;
+        BatchReport {
+            answers: answers
+                .into_iter()
+                .map(|slot| slot.expect("every request resolved"))
+                .collect(),
+            stats: BatchStats {
+                requests: requests.len() as u64,
+                rate_tiers,
+                collection_rounds: counters_after.collection_rounds
+                    - counters_before.collection_rounds,
+                samples_collected: counters_after.samples_collected
+                    - counters_before.samples_collected,
+                cache_hits: counters_after.cache_hits - counters_before.cache_hits,
+                chargeable_messages: meter_after.chargeable_messages()
+                    - meter_before.chargeable_messages(),
+                fan_out_threads,
+            },
+        }
     }
 
     /// Experiment hook: answers with a *fixed* Laplace budget `ε` instead
@@ -231,9 +513,7 @@ impl<E: RangeCountEstimator> DataBroker<E> {
         let achieved = self.network.station().effective_probability();
         let sensitivity = match self.optimizer_config.sensitivity {
             crate::optimizer::SensitivityPolicy::Expected => 1.0 / achieved,
-            crate::optimizer::SensitivityPolicy::WorstCase => {
-                shape.max_node_population as f64
-            }
+            crate::optimizer::SensitivityPolicy::WorstCase => shape.max_node_population as f64,
             crate::optimizer::SensitivityPolicy::Fixed(v) => v,
         };
         let noise_scale = sensitivity / epsilon.value();
@@ -254,6 +534,7 @@ impl<E: RangeCountEstimator> DataBroker<E> {
             tail_probability: f64::NAN,
         };
         let accuracy = Accuracy::new(0.5, 0.5).expect("placeholder accuracy is valid");
+        self.counters.answers_released += 1;
         Ok(PrivateAnswer {
             query,
             accuracy,
@@ -263,6 +544,46 @@ impl<E: RangeCountEstimator> DataBroker<E> {
             variance_bound: self.estimator.variance_bound(shape.k, shape.n, achieved)
                 + 2.0 * noise_scale * noise_scale,
         })
+    }
+
+    /// Draws the noise and assembles the released answer.
+    fn release(
+        &mut self,
+        request: &QueryRequest,
+        plan: PerturbationPlan,
+        sample_estimate: f64,
+        shape: NetworkShape,
+    ) -> Result<PrivateAnswer, CoreError> {
+        let noise = Laplace::centered(plan.noise_scale)?.sample(&mut self.rng);
+        let variance_bound = self
+            .estimator
+            .variance_bound(shape.k, shape.n, plan.probability)
+            + plan.noise_variance();
+        self.counters.answers_released += 1;
+        Ok(PrivateAnswer {
+            query: request.query,
+            accuracy: request.accuracy,
+            value: sample_estimate + noise,
+            sample_estimate,
+            plan,
+            variance_bound,
+        })
+    }
+
+    /// Solves problem (3), topping up once more if the optimizer reports
+    /// the demand infeasible at the achieved probability.
+    fn plan_with_retry(&mut self, accuracy: Accuracy) -> Result<PerturbationPlan, CoreError> {
+        match self.plan(accuracy) {
+            Ok(plan) => Ok(plan),
+            Err(CoreError::InfeasibleAccuracy {
+                required_probability,
+                ..
+            }) => {
+                self.ensure_probability((required_probability * 1.05).min(1.0));
+                self.plan(accuracy)
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// Solves problem (3) at the currently achieved sampling probability.
@@ -280,8 +601,48 @@ impl<E: RangeCountEstimator> DataBroker<E> {
     fn ensure_probability(&mut self, target: f64) {
         let current = self.network.station().effective_probability();
         if current < target {
-            self.network.collect_samples(target.clamp(f64::MIN_POSITIVE, 1.0));
+            let delivered = self
+                .network
+                .collect_samples(target.clamp(f64::MIN_POSITIVE, 1.0));
+            self.counters.collection_rounds += 1;
+            self.counters.samples_collected += delivered as u64;
         }
+    }
+
+    /// Looks the request up in the answer cache, if caching is enabled.
+    fn cache_lookup(&mut self, request: &QueryRequest) -> Option<PrivateAnswer> {
+        let guard = self.reuse_guard.as_deref()?;
+        let lower = request.query.lower().to_bits();
+        let upper = request.query.upper().to_bits();
+        let requested = Demand::new(request.accuracy.alpha(), request.accuracy.delta());
+        let hit = self
+            .cache
+            .range((lower, upper, u64::MIN)..=(lower, upper, u64::MAX))
+            .map(|(_, answer)| answer)
+            .find(|answer| {
+                let cached = Demand::new(answer.accuracy.alpha(), answer.accuracy.delta());
+                guard.allows_reuse(requested, cached)
+            })
+            .copied();
+        if hit.is_some() {
+            self.counters.cache_hits += 1;
+        } else {
+            self.counters.cache_misses += 1;
+        }
+        hit
+    }
+
+    /// Stores a freshly released answer for future reuse.
+    fn cache_store(&mut self, answer: &PrivateAnswer) {
+        if self.reuse_guard.is_none() {
+            return;
+        }
+        let key = (
+            answer.query.lower().to_bits(),
+            answer.query.upper().to_bits(),
+            answer.plan.epsilon.value().to_bits(),
+        );
+        self.cache.entry(key).or_insert(*answer);
     }
 }
 
@@ -289,19 +650,31 @@ impl<E: RangeCountEstimator> DataBroker<E> {
 mod tests {
     use super::*;
     use crate::estimator::BasicCounting;
+    use prc_net::network::ThreadedNetwork;
+    use prc_pricing::functions::InverseVariancePricing;
+    use prc_pricing::reuse::PostedPriceReuse;
+    use prc_pricing::variance::ChebyshevVariance;
+
+    fn partitions(k: usize, per_node: usize) -> Vec<Vec<f64>> {
+        (0..k)
+            .map(|i| (0..per_node).map(|j| (i * per_node + j) as f64).collect())
+            .collect()
+    }
 
     fn network(k: usize, per_node: usize, seed: u64) -> FlatNetwork {
-        let partitions: Vec<Vec<f64>> = (0..k)
-            .map(|i| (0..per_node).map(|j| (i * per_node + j) as f64).collect())
-            .collect();
-        FlatNetwork::from_partitions(partitions, seed)
+        FlatNetwork::from_partitions(partitions(k, per_node), seed)
     }
 
     fn request(l: f64, u: f64, a: f64, d: f64) -> QueryRequest {
-        QueryRequest::new(
-            RangeQuery::new(l, u).unwrap(),
-            Accuracy::new(a, d).unwrap(),
-        )
+        QueryRequest::new(RangeQuery::new(l, u).unwrap(), Accuracy::new(a, d).unwrap())
+    }
+
+    fn guard(n: usize) -> Box<dyn ReuseGuard> {
+        let model = ChebyshevVariance::new(n);
+        Box::new(PostedPriceReuse::new(
+            InverseVariancePricing::new(1e7, model),
+            model,
+        ))
     }
 
     #[test]
@@ -352,6 +725,11 @@ mod tests {
         broker.answer(&strict).unwrap();
         let after_strict = broker.network().station().effective_probability();
         assert!(after_strict > after_loose);
+        // The counters saw both collection rounds.
+        let counters = broker.counters();
+        assert!(counters.collection_rounds >= 2);
+        assert!(counters.samples_collected > 0);
+        assert_eq!(counters.answers_released, 2);
     }
 
     #[test]
@@ -365,7 +743,10 @@ mod tests {
         broker.answer(&req).unwrap();
         broker.answer(&req).unwrap();
         let err = broker.answer(&req).unwrap_err();
-        assert!(matches!(err, CoreError::Dp(prc_dp::DpError::BudgetExhausted { .. })));
+        assert!(matches!(
+            err,
+            CoreError::Dp(prc_dp::DpError::BudgetExhausted { .. })
+        ));
         let acc = broker.accountant().unwrap();
         assert_eq!(acc.operations(), 2);
     }
@@ -439,5 +820,126 @@ mod tests {
             delta_margin: 0.5,
         };
         policy.internal_target(Accuracy::new(0.1, 0.5).unwrap());
+    }
+
+    #[test]
+    fn broker_runs_over_threaded_networks() {
+        let net = ThreadedNetwork::from_partitions(partitions(6, 500), 11);
+        let mut broker = DataBroker::new(net, 11);
+        let answer = broker.answer(&request(500.0, 2_500.0, 0.1, 0.6)).unwrap();
+        assert!(answer.value.is_finite());
+        assert_eq!(broker.network().node_count(), 6);
+    }
+
+    #[test]
+    fn cache_serves_identical_requests_and_skips_budget() {
+        let mut broker = DataBroker::new(network(5, 2_000, 6), 6);
+        broker.enable_answer_cache(guard(10_000));
+        let req = request(0.0, 5_000.0, 0.1, 0.6);
+        let first = broker.answer(&req).unwrap();
+        broker
+            .set_privacy_budget(Epsilon::new(first.plan.effective_epsilon.value() * 0.5).unwrap());
+        // A repeat request is served from cache: identical bits, no spend
+        // against the (deliberately too small) budget.
+        let second = broker.answer(&req).unwrap();
+        assert_eq!(first.value.to_bits(), second.value.to_bits());
+        assert_eq!(broker.accountant().unwrap().operations(), 0);
+        assert_eq!(broker.counters().cache_hits, 1);
+        assert_eq!(broker.cached_answers(), 1);
+        // A different demand over the same range is answered fresh.
+        let looser = request(0.0, 5_000.0, 0.2, 0.5);
+        let third = broker.answer(&looser).unwrap();
+        assert_ne!(third.value.to_bits(), first.value.to_bits());
+        assert_eq!(broker.counters().cache_misses, 2);
+        // Disabling clears the cache.
+        broker.disable_answer_cache();
+        assert_eq!(broker.cached_answers(), 0);
+    }
+
+    #[test]
+    fn answer_batch_matches_request_order_and_counts_stages() {
+        let workload: Vec<QueryRequest> = vec![
+            request(0.0, 2_500.0, 0.1, 0.6),
+            request(2_500.0, 7_500.0, 0.05, 0.8),
+            request(0.0, 2_500.0, 0.1, 0.6), // duplicate of #0
+            request(5_000.0, 9_000.0, 0.2, 0.5),
+        ];
+        let mut broker = DataBroker::new(network(10, 1_000, 8), 8);
+        broker.enable_answer_cache(guard(10_000));
+        let report = broker.answer_batch(&workload);
+        assert_eq!(report.answers.len(), 4);
+        assert_eq!(report.stats.requests, 4);
+        assert!(report.stats.rate_tiers >= 2);
+        assert_eq!(report.stats.cache_hits, 1);
+        assert!(report.stats.samples_collected > 0);
+        assert!(report.stats.chargeable_messages > 0);
+        assert!(report.stats.fan_out_threads >= 1);
+        for (i, result) in report.answers.iter().enumerate() {
+            let answer = result.as_ref().unwrap();
+            assert_eq!(answer.query, workload[i].query, "slot {i} out of order");
+        }
+        // The duplicate was served the cached bits.
+        let a0 = report.answers[0].as_ref().unwrap();
+        let a2 = report.answers[2].as_ref().unwrap();
+        assert_eq!(a0.value.to_bits(), a2.value.to_bits());
+    }
+
+    #[test]
+    fn answer_batch_is_deterministic_across_drivers() {
+        let workload: Vec<QueryRequest> = vec![
+            request(0.0, 2_000.0, 0.15, 0.5),
+            request(1_000.0, 3_000.0, 0.08, 0.7),
+            request(500.0, 3_500.0, 0.15, 0.5),
+        ];
+        let run_flat = |seed: u64| {
+            let mut broker =
+                DataBroker::new(FlatNetwork::from_partitions(partitions(6, 700), seed), seed);
+            broker
+                .answer_batch(&workload)
+                .answers
+                .into_iter()
+                .map(|r| r.unwrap().value.to_bits())
+                .collect::<Vec<u64>>()
+        };
+        let run_threaded = |seed: u64| {
+            let net = ThreadedNetwork::from_partitions(partitions(6, 700), seed);
+            let mut broker = DataBroker::new(net, seed);
+            broker
+                .answer_batch(&workload)
+                .answers
+                .into_iter()
+                .map(|r| r.unwrap().value.to_bits())
+                .collect::<Vec<u64>>()
+        };
+        // Same seed: byte-identical answers, same driver or not.
+        assert_eq!(run_flat(9), run_flat(9));
+        assert_eq!(run_flat(9), run_threaded(9));
+        // Different seed: different noise.
+        assert_ne!(run_flat(9), run_flat(10));
+    }
+
+    #[test]
+    fn answer_batch_reports_per_request_budget_errors() {
+        let mut broker = DataBroker::new(network(5, 2_000, 12), 12);
+        let req = request(0.0, 5_000.0, 0.1, 0.6);
+        let probe = broker.answer(&req).unwrap();
+        let per_query = probe.plan.effective_epsilon.value();
+        broker.set_privacy_budget(Epsilon::new(per_query * 1.5).unwrap());
+        let report = broker.answer_batch(&[req; 3]);
+        let ok = report.answers.iter().filter(|r| r.is_ok()).count();
+        assert_eq!(ok, 1, "budget covers exactly one fresh answer");
+        assert!(report
+            .answers
+            .iter()
+            .any(|r| matches!(r, Err(CoreError::Dp(_)))));
+        assert_eq!(report.released().count(), 1);
+    }
+
+    #[test]
+    fn answer_batch_on_empty_network_errors_every_slot() {
+        let mut broker = DataBroker::new(FlatNetwork::from_partitions(vec![vec![]], 0), 0);
+        let report = broker.answer_batch(&[request(0.0, 1.0, 0.1, 0.5)]);
+        assert!(matches!(report.answers[0], Err(CoreError::NoSamples)));
+        assert_eq!(report.stats.rate_tiers, 0);
     }
 }

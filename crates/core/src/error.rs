@@ -46,7 +46,10 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::InvalidRange { l, u } => {
-                write!(f, "invalid range: bounds must be non-NaN with l <= u, got [{l}, {u}]")
+                write!(
+                    f,
+                    "invalid range: bounds must be non-NaN with l <= u, got [{l}, {u}]"
+                )
             }
             CoreError::InvalidAccuracy { alpha, delta } => write!(
                 f,

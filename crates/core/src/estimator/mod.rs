@@ -79,7 +79,10 @@ mod tests {
                 node_id: NodeId(i),
                 population_size: 10,
                 probability: 0.5,
-                entries: vec![SampleEntry { value: 1.0, rank: 1 }],
+                entries: vec![SampleEntry {
+                    value: 1.0,
+                    rank: 1,
+                }],
             });
         }
         let q = RangeQuery::new(0.0, 2.0).unwrap();

@@ -96,9 +96,7 @@ impl RangeCountEstimator for RankCounting {
         let successor = entries.get(succ_idx);
 
         match (predecessor, successor) {
-            (Some(pred), Some(succ)) => {
-                (succ.rank as f64 - pred.rank as f64 + 1.0) - 2.0 / p
-            }
+            (Some(pred), Some(succ)) => (succ.rank as f64 - pred.rank as f64 + 1.0) - 2.0 / p,
             (Some(pred), None) => (n_i as f64 - pred.rank as f64 + 1.0) - 1.0 / p,
             (None, Some(succ)) => succ.rank as f64 - 1.0 / p,
             (None, None) => n_i as f64,
@@ -298,10 +296,16 @@ mod tests {
         let narrow = spread(950.0, 1_050.0, 1_000);
         let wide = spread(10.0, 1_990.0, 2_000);
         let bound = 8.0 / (p * p);
-        assert!(narrow <= bound * 1.15, "narrow variance {narrow} > bound {bound}");
+        assert!(
+            narrow <= bound * 1.15,
+            "narrow variance {narrow} > bound {bound}"
+        );
         assert!(wide <= bound * 1.15, "wide variance {wide} > bound {bound}");
         // And the two are of the same order (within 4x), unlike the baseline.
-        assert!(wide < narrow * 4.0 + bound, "wide {wide} vs narrow {narrow}");
+        assert!(
+            wide < narrow * 4.0 + bound,
+            "wide {wide} vs narrow {narrow}"
+        );
     }
 
     #[test]

@@ -401,7 +401,10 @@ mod tests {
                 hits += 1;
             }
         }
-        assert!(hits > 190, "exponential mechanism should find the mode: {hits}/200");
+        assert!(
+            hits > 190,
+            "exponential mechanism should find the mode: {hits}/200"
+        );
     }
 
     #[test]

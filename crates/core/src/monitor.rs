@@ -25,7 +25,7 @@ use prc_dp::budget::{BudgetAccountant, Epsilon};
 
 use prc_net::network::FlatNetwork;
 
-use crate::broker::{DataBroker, PrivateAnswer};
+use crate::broker::{DataBroker, PrivateAnswer, StageCounters};
 use crate::error::CoreError;
 use crate::query::{Accuracy, QueryRequest, RangeQuery};
 
@@ -59,6 +59,12 @@ pub struct EpochResult {
     pub answer: PrivateAnswer,
     /// Session budget remaining after this epoch.
     pub budget_remaining: f64,
+    /// Per-stage pipeline counters for this epoch (collection rounds,
+    /// samples delivered, cache traffic, releases).
+    pub stages: StageCounters,
+    /// Chargeable (non-piggybacked) messages this epoch's collection
+    /// cost, from the epoch network's `CostMeter`.
+    pub chargeable_messages: u64,
 }
 
 /// A long-running private monitor over a sliding window.
@@ -177,6 +183,8 @@ impl ContinuousMonitor {
             window_size: snapshot.len(),
             answer,
             budget_remaining: self.accountant.remaining().value(),
+            stages: broker.counters(),
+            chargeable_messages: broker.network().meter().snapshot().chargeable_messages(),
         };
         self.epoch += 1;
         Ok(result)
@@ -219,6 +227,11 @@ mod tests {
             assert_eq!(r.epoch, i as u64);
             assert!(r.window_size > 0);
             assert!(r.answer.value.is_finite());
+            // Per-stage counters are threaded through from the broker.
+            assert!(r.stages.collection_rounds >= 1);
+            assert!(r.stages.samples_collected > 0);
+            assert_eq!(r.stages.answers_released, 1);
+            assert!(r.chargeable_messages > 0);
         }
         for pair in results.windows(2) {
             assert!(pair[1].budget_remaining < pair[0].budget_remaining);
@@ -249,7 +262,13 @@ mod tests {
         // Learn a typical per-epoch cost first.
         let mut probe = ContinuousMonitor::new(config(100.0));
         probe.ingest(replay.advance_by(300));
-        let per_epoch = probe.answer_epoch().unwrap().answer.plan.effective_epsilon.value();
+        let per_epoch = probe
+            .answer_epoch()
+            .unwrap()
+            .answer
+            .plan
+            .effective_epsilon
+            .value();
 
         let mut replay = StreamReplayer::new(&dataset);
         let mut monitor = ContinuousMonitor::new(config(per_epoch * 2.5));

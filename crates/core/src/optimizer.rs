@@ -162,9 +162,7 @@ fn resolve_sensitivity(
         SensitivityPolicy::Fixed(v) => v,
     };
     if !value.is_finite() || value <= 0.0 {
-        return Err(CoreError::Dp(prc_dp::DpError::InvalidSensitivity {
-            value,
-        }));
+        return Err(CoreError::Dp(prc_dp::DpError::InvalidSensitivity { value }));
     }
     Ok(value)
 }
@@ -269,8 +267,7 @@ pub fn optimize(
         let target = Accuracy::new(0.9 * alpha, (1.0 + accuracy.delta()) / 2.0)
             .expect("midpoint accuracy is always valid");
         let required =
-            crate::accuracy::required_probability_clamped(target, shape.k, shape.n)
-                .unwrap_or(1.0);
+            crate::accuracy::required_probability_clamped(target, shape.k, shape.n).unwrap_or(1.0);
         CoreError::InfeasibleAccuracy {
             available_probability: p,
             required_probability: required,
@@ -486,9 +483,7 @@ mod tests {
             },
         )
         .unwrap();
-        assert!(
-            fine.effective_epsilon.value() <= coarse.effective_epsilon.value() + 1e-9
-        );
+        assert!(fine.effective_epsilon.value() <= coarse.effective_epsilon.value() + 1e-9);
     }
 
     #[test]

@@ -215,11 +215,9 @@ mod tests {
         let net = uniform_network(10_000, 8, 1.0, 3);
         let mut rng = StdRng::seed_from_u64(4);
         let q05 =
-            private_quantile(&RankCounting, net.station(), 0.05, &config(50.0), &mut rng)
-                .unwrap();
+            private_quantile(&RankCounting, net.station(), 0.05, &config(50.0), &mut rng).unwrap();
         let q95 =
-            private_quantile(&RankCounting, net.station(), 0.95, &config(50.0), &mut rng)
-                .unwrap();
+            private_quantile(&RankCounting, net.station(), 0.95, &config(50.0), &mut rng).unwrap();
         assert!(q05.value < 1_000.0, "q05 {}", q05.value);
         assert!(q95.value > 9_000.0, "q95 {}", q95.value);
     }
@@ -231,8 +229,7 @@ mod tests {
         let net = uniform_network(10_000, 10, 0.3, 5);
         let mut rng = StdRng::seed_from_u64(6);
         let result =
-            private_quantile(&RankCounting, net.station(), 0.5, &config(20.0), &mut rng)
-                .unwrap();
+            private_quantile(&RankCounting, net.station(), 0.5, &config(20.0), &mut rng).unwrap();
         assert!(
             (result.value - 5_000.0).abs() < 600.0,
             "sampled median {}",
@@ -298,33 +295,29 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let c = config(1.0);
         for bad_q in [0.0, 1.0, -0.5, f64::NAN] {
-            assert!(
-                private_quantile(&RankCounting, net.station(), bad_q, &c, &mut rng).is_err()
-            );
+            assert!(private_quantile(&RankCounting, net.station(), bad_q, &c, &mut rng).is_err());
         }
         let bad_domain = QuantileConfig {
             domain: (5.0, 5.0),
             ..c
         };
-        assert!(private_quantile(&RankCounting, net.station(), 0.5, &bad_domain, &mut rng)
-            .is_err());
+        assert!(
+            private_quantile(&RankCounting, net.station(), 0.5, &bad_domain, &mut rng).is_err()
+        );
         let zero_steps = QuantileConfig { steps: 0, ..c };
-        assert!(private_quantile(&RankCounting, net.station(), 0.5, &zero_steps, &mut rng)
-            .is_err());
+        assert!(
+            private_quantile(&RankCounting, net.station(), 0.5, &zero_steps, &mut rng).is_err()
+        );
         let zero_eps = QuantileConfig {
             epsilon: Epsilon::new(0.0).unwrap(),
             ..c
         };
-        assert!(
-            private_quantile(&RankCounting, net.station(), 0.5, &zero_eps, &mut rng).is_err()
-        );
+        assert!(private_quantile(&RankCounting, net.station(), 0.5, &zero_eps, &mut rng).is_err());
         let empty = prc_net::base_station::BaseStation::new();
         assert!(matches!(
             private_quantile(&RankCounting, &empty, 0.5, &c, &mut rng),
             Err(CoreError::NoSamples)
         ));
-        assert!(
-            private_quantiles(&RankCounting, net.station(), &[], &c, &mut rng).is_err()
-        );
+        assert!(private_quantiles(&RankCounting, net.station(), &[], &c, &mut rng).is_err());
     }
 }

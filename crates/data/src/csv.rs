@@ -34,10 +34,7 @@ const COLUMN_ALIASES: [(&str, &[&str]); 7] = [
         "sulfur_dioxide",
         &["sulfur_dioxide", "sulfure_dioxide", "so2"],
     ),
-    (
-        "nitrogen_dioxide",
-        &["nitrogen_dioxide", "no2"],
-    ),
+    ("nitrogen_dioxide", &["nitrogen_dioxide", "no2"]),
 ];
 
 /// Reads a dataset from any [`Read`] source.
@@ -68,9 +65,7 @@ pub fn read_csv<R: Read>(reader: R) -> Result<Dataset, DataError> {
             .find(|(name, _)| *name == logical)
             .map(|(_, aliases)| *aliases)
             .unwrap_or(&[]);
-        headers
-            .iter()
-            .position(|h| aliases.contains(&h.as_str()))
+        headers.iter().position(|h| aliases.contains(&h.as_str()))
     };
 
     let require = |logical: &str| -> Result<usize, DataError> {
@@ -104,11 +99,13 @@ pub fn read_csv<R: Read>(reader: R) -> Result<Dataset, DataError> {
         }
 
         let parse_f64 = |col: usize, name: &str| -> Result<f64, DataError> {
-            fields[col].parse::<f64>().map_err(|_| DataError::ParseField {
-                line: line_no,
-                column: name.to_owned(),
-                value: fields[col].to_owned(),
-            })
+            fields[col]
+                .parse::<f64>()
+                .map_err(|_| DataError::ParseField {
+                    line: line_no,
+                    column: name.to_owned(),
+                    value: fields[col].to_owned(),
+                })
         };
 
         let raw_ts = fields[col_timestamp];
@@ -118,11 +115,13 @@ pub fn read_csv<R: Read>(reader: R) -> Result<Dataset, DataError> {
         })?;
 
         let sensor_id = match col_sensor {
-            Some(col) => fields[col].parse::<u32>().map_err(|_| DataError::ParseField {
-                line: line_no,
-                column: "sensor_id".to_owned(),
-                value: fields[col].to_owned(),
-            })?,
+            Some(col) => fields[col]
+                .parse::<u32>()
+                .map_err(|_| DataError::ParseField {
+                    line: line_no,
+                    column: "sensor_id".to_owned(),
+                    value: fields[col].to_owned(),
+                })?,
             None => 0,
         };
 
@@ -262,7 +261,11 @@ timestamp,sensor_id,ozone,particulate_matter,carbon_monoxide,sulfur_dioxide,nitr
 0,1,1,2,3
 ";
         match read_csv(csv.as_bytes()) {
-            Err(DataError::FieldCount { line, expected, found }) => {
+            Err(DataError::FieldCount {
+                line,
+                expected,
+                found,
+            }) => {
                 assert_eq!((line, expected, found), (3, 7, 5));
             }
             other => panic!("expected FieldCount, got {other:?}"),
@@ -276,7 +279,11 @@ timestamp,sensor_id,ozone,particulate_matter,carbon_monoxide,sulfur_dioxide,nitr
 0,1,abc,2,3,4,5
 ";
         match read_csv(csv.as_bytes()) {
-            Err(DataError::ParseField { line, column, value }) => {
+            Err(DataError::ParseField {
+                line,
+                column,
+                value,
+            }) => {
                 assert_eq!(line, 2);
                 assert_eq!(column, "ozone");
                 assert_eq!(value, "abc");

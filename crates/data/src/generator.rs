@@ -232,7 +232,10 @@ impl CityPulseGenerator {
             (0.0..1.0).contains(&start_probability),
             "outage probability must be in [0, 1)"
         );
-        assert!(mean_slots >= 1.0, "mean outage duration must be at least one slot");
+        assert!(
+            mean_slots >= 1.0,
+            "mean outage duration must be at least one slot"
+        );
         self.outage_probability = start_probability;
         self.outage_mean_slots = mean_slots;
         self
@@ -252,9 +255,7 @@ impl CityPulseGenerator {
         let mut records = Vec::with_capacity(self.record_count);
         let mut outage_remaining = 0u64;
         for i in 0..self.record_count {
-            let timestamp = self
-                .start
-                .plus_seconds(i as i64 * self.interval_seconds);
+            let timestamp = self.start.plus_seconds(i as i64 * self.interval_seconds);
             let hour = timestamp.hour_of_day();
             let weekend = timestamp.day_of_week() >= 5;
 
@@ -264,8 +265,7 @@ impl CityPulseGenerator {
             let skip_this_slot = if outage_remaining > 0 {
                 outage_remaining -= 1;
                 true
-            } else if self.outage_probability > 0.0
-                && rng.random::<f64>() < self.outage_probability
+            } else if self.outage_probability > 0.0 && rng.random::<f64>() < self.outage_probability
             {
                 // Geometric duration with the configured mean; this slot
                 // is the first of the gap.
@@ -393,14 +393,11 @@ mod tests {
     #[test]
     fn series_have_distinct_levels() {
         let ds = CityPulseGenerator::new(4).record_count(5_000).generate();
-        let mean =
-            |idx| stats::mean(&ds.values(idx)).unwrap();
+        let mean = |idx| stats::mean(&ds.values(idx)).unwrap();
         // Ozone baseline (95) sits well above sulfur dioxide (40).
         assert!(mean(AirQualityIndex::Ozone) > mean(AirQualityIndex::SulfurDioxide) + 20.0);
         // NO2 sits above CO.
-        assert!(
-            mean(AirQualityIndex::NitrogenDioxide) > mean(AirQualityIndex::CarbonMonoxide)
-        );
+        assert!(mean(AirQualityIndex::NitrogenDioxide) > mean(AirQualityIndex::CarbonMonoxide));
     }
 
     #[test]
@@ -463,8 +460,14 @@ mod tests {
 
     #[test]
     fn outages_are_deterministic() {
-        let a = CityPulseGenerator::new(3).record_count(1_000).outages(0.02, 5.0).generate();
-        let b = CityPulseGenerator::new(3).record_count(1_000).outages(0.02, 5.0).generate();
+        let a = CityPulseGenerator::new(3)
+            .record_count(1_000)
+            .outages(0.02, 5.0)
+            .generate();
+        let b = CityPulseGenerator::new(3)
+            .record_count(1_000)
+            .outages(0.02, 5.0)
+            .generate();
         assert_eq!(a, b);
     }
 

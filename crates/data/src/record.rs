@@ -10,16 +10,7 @@ use crate::time::Timestamp;
 
 /// The five air-quality indexes carried by every CityPulse pollution record.
 #[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    serde::Serialize,
-    serde::Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
 )]
 pub enum AirQualityIndex {
     /// Ground-level ozone (O₃).
@@ -354,8 +345,10 @@ mod tests {
 
     #[test]
     fn column_names_are_distinct() {
-        let names: std::collections::HashSet<_> =
-            AirQualityIndex::ALL.iter().map(|i| i.column_name()).collect();
+        let names: std::collections::HashSet<_> = AirQualityIndex::ALL
+            .iter()
+            .map(|i| i.column_name())
+            .collect();
         assert_eq!(names.len(), 5);
     }
 

@@ -146,7 +146,10 @@ impl Histogram {
     pub fn bin_bounds(&self, i: usize) -> (f64, f64) {
         assert!(i < self.counts.len(), "bin index out of range");
         let width = (self.high - self.low) / self.counts.len() as f64;
-        (self.low + width * i as f64, self.low + width * (i + 1) as f64)
+        (
+            self.low + width * i as f64,
+            self.low + width * (i + 1) as f64,
+        )
     }
 }
 

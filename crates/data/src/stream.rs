@@ -53,9 +53,7 @@ impl StreamReplayer {
     /// released records.
     pub fn advance_until(&mut self, until: Timestamp) -> Vec<PollutionRecord> {
         let start = self.position;
-        while self.position < self.records.len()
-            && self.records[self.position].timestamp <= until
-        {
+        while self.position < self.records.len() && self.records[self.position].timestamp <= until {
             self.position += 1;
         }
         self.records[start..self.position].to_vec()
@@ -245,7 +243,10 @@ mod tests {
         window.ingest_all([rec(0), rec(300), rec(600)]);
         let ds = window.snapshot();
         assert_eq!(ds.len(), 3);
-        assert_eq!(ds.values(crate::record::AirQualityIndex::Ozone), vec![0.0, 300.0, 600.0]);
+        assert_eq!(
+            ds.values(crate::record::AirQualityIndex::Ozone),
+            vec![0.0, 300.0, 600.0]
+        );
     }
 
     #[test]

@@ -39,7 +39,14 @@ impl Timestamp {
     ///
     /// Panics if `month`, `day`, `hour`, `minute`, or `second` are outside
     /// their calendar ranges.
-    pub fn from_civil(year: i32, month: u32, day: u32, hour: u32, minute: u32, second: u32) -> Self {
+    pub fn from_civil(
+        year: i32,
+        month: u32,
+        day: u32,
+        hour: u32,
+        minute: u32,
+        second: u32,
+    ) -> Self {
         assert!((1..=12).contains(&month), "month out of range: {month}");
         assert!(
             day >= 1 && day <= days_in_month(year, month),
@@ -49,7 +56,9 @@ impl Timestamp {
         assert!(minute < 60, "minute out of range: {minute}");
         assert!(second < 60, "second out of range: {second}");
         let days = days_from_civil(year, month, day);
-        Timestamp(days * 86_400 + i64::from(hour) * 3_600 + i64::from(minute) * 60 + i64::from(second))
+        Timestamp(
+            days * 86_400 + i64::from(hour) * 3_600 + i64::from(minute) * 60 + i64::from(second),
+        )
     }
 
     /// Decomposes the timestamp into `(year, month, day, hour, minute, second)` in UTC.
@@ -118,7 +127,9 @@ impl Timestamp {
         {
             return None;
         }
-        Some(Timestamp::from_civil(year, month, day, hour, minute, second))
+        Some(Timestamp::from_civil(
+            year, month, day, hour, minute, second,
+        ))
     }
 }
 
@@ -259,8 +270,14 @@ mod tests {
     #[test]
     fn parse_civil_rejects_garbage() {
         for bad in [
-            "", "2014-08-01", "not a date", "2014-13-01 00:00:00", "2014-02-30 00:00:00",
-            "2014-08-01 24:00:00", "2014-08-01 00:61:00", "2014-08-01 00:00:00:00",
+            "",
+            "2014-08-01",
+            "not a date",
+            "2014-13-01 00:00:00",
+            "2014-02-30 00:00:00",
+            "2014-08-01 24:00:00",
+            "2014-08-01 00:61:00",
+            "2014-08-01 00:00:00:00",
             "2014-08-01-02 00:00:00",
         ] {
             assert_eq!(Timestamp::parse_civil(bad), None, "should reject {bad:?}");

@@ -189,7 +189,10 @@ mod tests {
         let best_small = best_composition(small, 10_000, 1e-6);
         assert!(best_small.epsilon < basic_composition(small, 10_000).epsilon);
         let large = ApproxDp::new(2.0, 0.0).unwrap();
-        assert_eq!(best_composition(large, 3, 1e-6), basic_composition(large, 3));
+        assert_eq!(
+            best_composition(large, 3, 1e-6),
+            basic_composition(large, 3)
+        );
     }
 
     #[test]
@@ -210,8 +213,7 @@ mod tests {
         assert!((acc.basic_total().epsilon - 0.13).abs() < 1e-12);
         // Advanced uses the worst per-query budget (0.05) over 4 queries.
         let adv = acc.advanced_total(1e-6).unwrap();
-        let by_hand =
-            advanced_composition(ApproxDp::new(0.05, 0.0).unwrap(), 4, 1e-6).unwrap();
+        let by_hand = advanced_composition(ApproxDp::new(0.05, 0.0).unwrap(), 4, 1e-6).unwrap();
         assert!((adv.epsilon - by_hand.epsilon).abs() < 1e-12);
     }
 

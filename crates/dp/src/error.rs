@@ -41,7 +41,10 @@ impl fmt::Display for DpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DpError::InvalidEpsilon { value } => {
-                write!(f, "privacy budget must be finite and non-negative, got {value}")
+                write!(
+                    f,
+                    "privacy budget must be finite and non-negative, got {value}"
+                )
             }
             DpError::InvalidSensitivity { value } => {
                 write!(f, "sensitivity must be finite and positive, got {value}")

@@ -110,8 +110,8 @@ impl GaussianMechanism {
                 expected: "in (0, 1)",
             });
         }
-        let sigma = sensitivity.value() * (2.0 * (1.25 / guarantee.delta).ln()).sqrt()
-            / guarantee.epsilon;
+        let sigma =
+            sensitivity.value() * (2.0 * (1.25 / guarantee.delta).ln()).sqrt() / guarantee.epsilon;
         Ok(GaussianMechanism {
             guarantee,
             sensitivity,
@@ -173,7 +173,8 @@ fn erf(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
@@ -226,8 +227,9 @@ mod tests {
         // ApproxDp::new itself rejects nothing at ε = 1.0 but the
         // mechanism's calibration does.
         assert!(GaussianMechanism::new(guarantee(1.0, 1e-5), sens(1.0)).is_err());
-        assert!(GaussianMechanism::new(ApproxDp::pure(Epsilon::new(0.5).unwrap()), sens(1.0))
-            .is_err());
+        assert!(
+            GaussianMechanism::new(ApproxDp::pure(Epsilon::new(0.5).unwrap()), sens(1.0)).is_err()
+        );
     }
 
     #[test]

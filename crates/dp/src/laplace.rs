@@ -98,7 +98,10 @@ impl Laplace {
     ///
     /// Panics if `q` is outside `(0, 1)`.
     pub fn quantile(&self, q: f64) -> f64 {
-        assert!(q > 0.0 && q < 1.0, "quantile probability must be in (0,1), got {q}");
+        assert!(
+            q > 0.0 && q < 1.0,
+            "quantile probability must be in (0,1), got {q}"
+        );
         if q < 0.5 {
             self.location + self.scale * (2.0 * q).ln()
         } else {
@@ -309,7 +312,10 @@ mod tests {
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
-        assert!((var - d.variance()).abs() / d.variance() < 0.02, "var {var}");
+        assert!(
+            (var - d.variance()).abs() / d.variance() < 0.02,
+            "var {var}"
+        );
     }
 
     #[test]
@@ -320,8 +326,7 @@ mod tests {
         let n = 200_000;
         let samples = d.sample_n(&mut rng, n);
         for x in [-3.0, -1.0, 0.0, 0.5, 2.0] {
-            let empirical =
-                samples.iter().filter(|&&s| s <= x).count() as f64 / n as f64;
+            let empirical = samples.iter().filter(|&&s| s <= x).count() as f64 / n as f64;
             assert!(
                 (empirical - d.cdf(x)).abs() < 0.005,
                 "x={x}: empirical {empirical} vs {}",
@@ -337,8 +342,7 @@ mod tests {
         let n = 200_000;
         let samples = d.sample_n(&mut rng, n);
         for t in [0.5, 1.0, 3.0] {
-            let empirical =
-                samples.iter().filter(|&&s| s.abs() <= t).count() as f64 / n as f64;
+            let empirical = samples.iter().filter(|&&s| s.abs() <= t).count() as f64 / n as f64;
             assert!(
                 (empirical - d.central_probability(t)).abs() < 0.005,
                 "t={t}"

@@ -213,7 +213,11 @@ mod tests {
         let mut acc = RdpAccountant::default();
         acc.record_laplace(eps(1.0));
         let converted = acc.to_approx_dp(1e-6).unwrap();
-        assert!(converted.epsilon >= 0.2, "suspiciously small: {}", converted.epsilon);
+        assert!(
+            converted.epsilon >= 0.2,
+            "suspiciously small: {}",
+            converted.epsilon
+        );
         assert!(converted.epsilon <= 2.0, "too lossy: {}", converted.epsilon);
     }
 

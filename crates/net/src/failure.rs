@@ -105,8 +105,8 @@ impl FailurePlan {
         if let Some(&dead) = self.decided.get(&node_id) {
             return dead;
         }
-        let dead =
-            self.dead_nodes.contains(&node_id) || self.rng.random::<f64>() < self.dropout_probability;
+        let dead = self.dead_nodes.contains(&node_id)
+            || self.rng.random::<f64>() < self.dropout_probability;
         self.decided.insert(node_id, dead);
         if dead {
             self.dead_nodes.insert(node_id);

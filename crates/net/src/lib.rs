@@ -17,7 +17,9 @@
 //! * [`base_station`] — per-node sample sets and top-up orchestration;
 //! * [`network`] — [`network::FlatNetwork`], the paper's flat model, with
 //!   a [`network::CostMeter`] tracking messages/samples/bytes, plus a
-//!   crossbeam-channel [`network::ThreadedNetwork`] driver;
+//!   crossbeam-channel [`network::ThreadedNetwork`] driver; both drivers
+//!   implement the [`network::Network`] trait so generic consumers (the
+//!   `prc-core` broker) run unchanged over either;
 //! * [`tree`] — the "general tree model" extension: samples are forwarded
 //!   hop-by-hop to the root, multiplying communication cost by depth;
 //! * [`failure`] — node-dropout and message-loss injection.
@@ -49,5 +51,5 @@ pub mod tree;
 
 pub use base_station::{BaseStation, NodeSample};
 pub use message::{Message, NodeId, SampleEntry, SampleMessage};
-pub use network::{CostMeter, FlatNetwork, ThreadedNetwork};
+pub use network::{CostMeter, FlatNetwork, Network, ThreadedNetwork};
 pub use node::SensorNode;

@@ -10,16 +10,7 @@
 
 /// Identifier of a sensor node.
 #[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    serde::Serialize,
-    serde::Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
 )]
 pub struct NodeId(pub u32);
 
@@ -143,7 +134,10 @@ mod tests {
         let m = Message::Sample(sample_msg(0));
         assert_eq!(m.wire_size(), MESSAGE_HEADER_BYTES);
         let m = Message::Sample(sample_msg(10));
-        assert_eq!(m.wire_size(), MESSAGE_HEADER_BYTES + 10 * SAMPLE_ENTRY_BYTES);
+        assert_eq!(
+            m.wire_size(),
+            MESSAGE_HEADER_BYTES + 10 * SAMPLE_ENTRY_BYTES
+        );
     }
 
     #[test]
@@ -169,7 +163,10 @@ mod tests {
             .node_id(),
             NodeId(7)
         );
-        assert_eq!(Message::Heartbeat { node_id: NodeId(9) }.node_id(), NodeId(9));
+        assert_eq!(
+            Message::Heartbeat { node_id: NodeId(9) }.node_id(),
+            NodeId(9)
+        );
     }
 
     #[test]

@@ -113,6 +113,38 @@ impl CostMeter {
     }
 }
 
+/// A driver-agnostic view of a sampling network.
+///
+/// Both [`FlatNetwork`] (single-threaded, one synchronous round per
+/// collection) and [`ThreadedNetwork`] (one OS thread per node, channel
+/// rounds) expose the same protocol surface: a population distributed
+/// over `k` nodes, a base station accumulating Bernoulli samples, and a
+/// [`CostMeter`] charging every message. Generic consumers — most
+/// importantly the broker in `prc-core` — are written against this trait
+/// so the same pipeline runs unchanged over either driver.
+///
+/// Implementations must be *deterministic in the seed*: for identical
+/// construction parameters, the station state after any sequence of
+/// [`Network::collect_samples`] calls must not depend on scheduling.
+pub trait Network {
+    /// Number of nodes (dead or alive).
+    fn node_count(&self) -> usize;
+
+    /// Total data elements across all nodes, `n = |D|`.
+    fn total_data_size(&self) -> usize;
+
+    /// The base station's view of collected samples.
+    fn station(&self) -> &BaseStation;
+
+    /// The cost meter charging this network's traffic.
+    fn meter(&self) -> &CostMeter;
+
+    /// Runs one collection round: every live node raises its cumulative
+    /// sampling probability to `target` and ships the new batch. Returns
+    /// the number of sample entries that reached the base station.
+    fn collect_samples(&mut self, target: f64) -> usize;
+}
+
 /// The paper's flat network: `k` sensor nodes reporting directly to one
 /// base station.
 #[derive(Debug)]
@@ -297,6 +329,28 @@ impl FlatNetwork {
     }
 }
 
+impl Network for FlatNetwork {
+    fn node_count(&self) -> usize {
+        FlatNetwork::node_count(self)
+    }
+
+    fn total_data_size(&self) -> usize {
+        FlatNetwork::total_data_size(self)
+    }
+
+    fn station(&self) -> &BaseStation {
+        FlatNetwork::station(self)
+    }
+
+    fn meter(&self) -> &CostMeter {
+        FlatNetwork::meter(self)
+    }
+
+    fn collect_samples(&mut self, target: f64) -> usize {
+        FlatNetwork::collect_samples(self, target)
+    }
+}
+
 /// Commands sent to node worker threads.
 enum Command {
     SampleTo(f64),
@@ -425,6 +479,28 @@ impl ThreadedNetwork {
     }
 }
 
+impl Network for ThreadedNetwork {
+    fn node_count(&self) -> usize {
+        ThreadedNetwork::node_count(self)
+    }
+
+    fn total_data_size(&self) -> usize {
+        ThreadedNetwork::total_data_size(self)
+    }
+
+    fn station(&self) -> &BaseStation {
+        ThreadedNetwork::station(self)
+    }
+
+    fn meter(&self) -> &CostMeter {
+        ThreadedNetwork::meter(self)
+    }
+
+    fn collect_samples(&mut self, target: f64) -> usize {
+        ThreadedNetwork::collect_samples(self, target)
+    }
+}
+
 impl Drop for ThreadedNetwork {
     fn drop(&mut self) {
         for tx in &self.command_txs {
@@ -443,11 +519,7 @@ mod tests {
 
     fn partitions(k: usize, per_node: usize) -> Vec<Vec<f64>> {
         (0..k)
-            .map(|i| {
-                (0..per_node)
-                    .map(|j| (i * per_node + j) as f64)
-                    .collect()
-            })
+            .map(|i| (0..per_node).map(|j| (i * per_node + j) as f64).collect())
             .collect()
     }
 
@@ -545,8 +617,14 @@ mod tests {
         };
         let (clean_msgs, clean_samples) = mk(0.0, 21);
         let (lossy_msgs, lossy_samples) = mk(0.4, 21);
-        assert_eq!(clean_samples, lossy_samples, "retransmit must not lose data");
-        assert!(lossy_msgs > clean_msgs, "retransmissions must cost messages");
+        assert_eq!(
+            clean_samples, lossy_samples,
+            "retransmit must not lose data"
+        );
+        assert!(
+            lossy_msgs > clean_msgs,
+            "retransmissions must cost messages"
+        );
     }
 
     #[test]

@@ -151,8 +151,7 @@ where
                     if combined_variance > target_variance {
                         continue;
                     }
-                    let bundle_cost: f64 =
-                        bundle.iter().map(|&(a, d)| pricing.price(a, d)).sum();
+                    let bundle_cost: f64 = bundle.iter().map(|&(a, d)| pricing.price(a, d)).sum();
                     if bundle_cost < target_price * (1.0 - config.min_relative_saving) {
                         attacks.push(ArbitrageAttack {
                             target: (alpha, delta),
@@ -252,7 +251,10 @@ mod tests {
     fn broken_pricing_is_attacked() {
         let pricing = LinearDeltaPricing::new(10.0);
         let attacks = find_arbitrage(&pricing, &model(), &targets(), &AttackConfig::default());
-        assert!(!attacks.is_empty(), "the broken function must be exploitable");
+        assert!(
+            !attacks.is_empty(),
+            "the broken function must be exploitable"
+        );
         for attack in &attacks {
             // Every reported attack must really be one.
             assert!(attack.bundle_variance <= attack.target_variance + 1e-9);
@@ -275,9 +277,17 @@ mod tests {
         let attacks = find_arbitrage(&pricing, &m, &[(0.05, 0.9)], &AttackConfig::default());
         assert!(!attacks.is_empty());
         for attack in attacks.iter().take(20) {
-            let cost: f64 = attack.bundle.iter().map(|&(a, d)| pricing.price(a, d)).sum();
+            let cost: f64 = attack
+                .bundle
+                .iter()
+                .map(|&(a, d)| pricing.price(a, d))
+                .sum();
             assert!((cost - attack.bundle_cost).abs() < 1e-9);
-            let var: f64 = attack.bundle.iter().map(|&(a, d)| m.variance(a, d)).sum::<f64>()
+            let var: f64 = attack
+                .bundle
+                .iter()
+                .map(|&(a, d)| m.variance(a, d))
+                .sum::<f64>()
                 / (attack.bundle.len() * attack.bundle.len()) as f64;
             assert!((var - attack.bundle_variance).abs() < 1e-9);
         }

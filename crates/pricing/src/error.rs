@@ -26,7 +26,10 @@ impl fmt::Display for PricingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PricingError::InvalidParameter { name, value } => {
-                write!(f, "parameter `{name}` must be finite and positive, got {value}")
+                write!(
+                    f,
+                    "parameter `{name}` must be finite and positive, got {value}"
+                )
             }
             PricingError::InvalidAccuracy { alpha, delta } => write!(
                 f,

@@ -270,9 +270,7 @@ mod tests {
         let log = LogPrecisionPricing::new(1.0, m);
         let v1 = 10.0;
         let v2 = 1_000.0;
-        assert!(
-            (inv.price_of_variance(v1) * v1 - inv.price_of_variance(v2) * v2).abs() < 1e-12
-        );
+        assert!((inv.price_of_variance(v1) * v1 - inv.price_of_variance(v2) * v2).abs() < 1e-12);
         assert!(sqrt.price_of_variance(v2) * v2 > sqrt.price_of_variance(v1) * v1);
         assert!(log.price_of_variance(v2) * v2 > log.price_of_variance(v1) * v1);
     }

@@ -129,9 +129,8 @@ where
     pub fn quote(&self, buyer: &str, query_key: &str, alpha: f64, delta: f64) -> f64 {
         let w_new = 1.0 / self.model.variance(alpha, delta);
         let w_before = self.held_precision(buyer, query_key);
-        (self.base.price_of_precision(w_before + w_new)
-            - self.base.price_of_precision(w_before))
-        .max(0.0)
+        (self.base.price_of_precision(w_before + w_new) - self.base.price_of_precision(w_before))
+            .max(0.0)
     }
 
     /// Records a purchase and returns the charged (marginal) price.
@@ -234,7 +233,11 @@ mod tests {
         let m = model();
         let target_w = 1.0 / m.variance(0.03, 0.9);
 
-        fn check<F: PricingFunction + PrecisionPricing + Clone>(base: F, m: ChebyshevVariance, target_w: f64) {
+        fn check<F: PricingFunction + PrecisionPricing + Clone>(
+            base: F,
+            m: ChebyshevVariance,
+            target_w: f64,
+        ) {
             let direct = base.price_of_precision(target_w);
             let mut pricing = HistoryAwarePricing::new(base, m);
             // Ten equal slices of the target precision: realized as ten

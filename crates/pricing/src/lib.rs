@@ -24,6 +24,8 @@
 //!   Theorem 4.2;
 //! * [`arbitrage`] — an attack simulator implementing Definition 2.3
 //!   operationally (uniform and mixed bundles, equal-weight averaging);
+//! * [`reuse`] — the posted-curve guard deciding when a cached answer may
+//!   be re-served without undercutting the price curve;
 //! * [`ledger`] — trade bookkeeping for the broker.
 //!
 //! ## Quick start
@@ -47,6 +49,7 @@ pub mod functions;
 pub mod history;
 pub mod ledger;
 pub mod market;
+pub mod reuse;
 pub mod theorem;
 pub mod variance;
 
@@ -58,4 +61,5 @@ pub use functions::{
 };
 pub use history::{HistoryAwarePricing, PrecisionPricing};
 pub use ledger::TradeLedger;
+pub use reuse::{Demand, PostedPriceReuse, ReuseGuard};
 pub use variance::{ChebyshevVariance, VarianceModel};

@@ -90,8 +90,7 @@ pub fn simulate_market<F: PricingFunction>(
         if price <= segment.willingness_to_pay {
             outcome.sales += segment.count;
             outcome.revenue += price * segment.count as f64;
-            outcome.consumer_surplus +=
-                (segment.willingness_to_pay - price) * segment.count as f64;
+            outcome.consumer_surplus += (segment.willingness_to_pay - price) * segment.count as f64;
         } else {
             outcome.priced_out += segment.count;
         }
@@ -131,7 +130,13 @@ pub fn tune_scale<F: PricingFunction>(
 
     let mut best: Option<(f64, MarketOutcome)> = None;
     for &scale in candidates {
-        let outcome = simulate_market(&Scaled { inner: pricing, scale }, segments);
+        let outcome = simulate_market(
+            &Scaled {
+                inner: pricing,
+                scale,
+            },
+            segments,
+        );
         let better = match &best {
             Some((_, b)) => outcome.revenue > b.revenue,
             None => true,
@@ -186,7 +191,10 @@ mod tests {
         let mut prev_sales = u64::MAX;
         for c in [1.0, 1e4, 1e7, 1e9, 1e12] {
             let outcome = simulate_market(&pricing(c), &market());
-            assert!(outcome.sales <= prev_sales, "sales rose with price at c={c}");
+            assert!(
+                outcome.sales <= prev_sales,
+                "sales rose with price at c={c}"
+            );
             prev_sales = outcome.sales;
         }
     }
@@ -215,9 +223,7 @@ mod tests {
             .filter(|s| pricing(1e6).price(s.alpha, s.delta) <= s.willingness_to_pay)
             .map(|s| s.willingness_to_pay * s.count as f64)
             .sum();
-        assert!(
-            (outcome.revenue + outcome.consumer_surplus - buyers_willingness).abs() < 1e-6
-        );
+        assert!((outcome.revenue + outcome.consumer_surplus - buyers_willingness).abs() < 1e-6);
     }
 
     #[test]

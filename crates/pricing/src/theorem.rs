@@ -177,9 +177,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::functions::{
-        InverseVariancePricing, LinearDeltaPricing, SqrtPrecisionPricing,
-    };
+    use crate::functions::{InverseVariancePricing, LinearDeltaPricing, SqrtPrecisionPricing};
     use crate::variance::ChebyshevVariance;
 
     fn model() -> ChebyshevVariance {

@@ -32,7 +32,10 @@ impl Quantizer {
     ///
     /// Panics unless `lo < hi` are finite and `1 ≤ bits ≤ 32`.
     pub fn new(lo: f64, hi: f64, bits: u32) -> Self {
-        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "need finite lo < hi");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "need finite lo < hi"
+        );
         assert!((1..=32).contains(&bits), "bits must be in 1..=32");
         Quantizer { lo, hi, bits }
     }

@@ -72,12 +72,21 @@ mod tests {
 
     #[test]
     fn bounds_arithmetic() {
-        let a = CountBounds { lower: 10, upper: 20 };
+        let a = CountBounds {
+            lower: 10,
+            upper: 20,
+        };
         let b = CountBounds { lower: 5, upper: 6 };
         assert_eq!(a.estimate(), 15.0);
         assert_eq!(a.half_width(), 5.0);
         let c = a.merge(&b);
-        assert_eq!(c, CountBounds { lower: 15, upper: 26 });
+        assert_eq!(
+            c,
+            CountBounds {
+                lower: 15,
+                upper: 26
+            }
+        );
         assert!(a.contains(10) && a.contains(20) && !a.contains(21));
     }
 }

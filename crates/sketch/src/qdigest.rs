@@ -53,7 +53,10 @@ impl QDigest {
     ///
     /// Panics unless `1 ≤ bits ≤ 32` and `k ≥ 1`.
     pub fn new(bits: u32, compression: u64) -> Self {
-        assert!((1..=32).contains(&bits), "bits must be in 1..=32, got {bits}");
+        assert!(
+            (1..=32).contains(&bits),
+            "bits must be in 1..=32, got {bits}"
+        );
         assert!(compression >= 1, "compression must be at least 1");
         QDigest {
             bits,
@@ -305,7 +308,9 @@ mod tests {
     #[test]
     fn bounds_always_contain_the_truth() {
         let mut rng = StdRng::seed_from_u64(7);
-        let values: Vec<u64> = (0..5_000).map(|_| rng.random_range(0..1u64 << 12)).collect();
+        let values: Vec<u64> = (0..5_000)
+            .map(|_| rng.random_range(0..1u64 << 12))
+            .collect();
         let d = QDigest::from_values(12, 32, &values);
         for _ in 0..200 {
             let a = rng.random_range(0..1u64 << 12);
@@ -325,7 +330,9 @@ mod tests {
     #[test]
     fn error_respects_the_theoretical_bound() {
         let mut rng = StdRng::seed_from_u64(9);
-        let values: Vec<u64> = (0..20_000).map(|_| rng.random_range(0..1u64 << 16)).collect();
+        let values: Vec<u64> = (0..20_000)
+            .map(|_| rng.random_range(0..1u64 << 16))
+            .collect();
         let d = QDigest::from_values(16, 64, &values);
         let bound = d.error_bound();
         for x in (0..1u64 << 16).step_by(1 << 10) {
@@ -341,7 +348,9 @@ mod tests {
     #[test]
     fn compression_shrinks_the_digest() {
         let mut rng = StdRng::seed_from_u64(3);
-        let values: Vec<u64> = (0..50_000).map(|_| rng.random_range(0..1u64 << 16)).collect();
+        let values: Vec<u64> = (0..50_000)
+            .map(|_| rng.random_range(0..1u64 << 16))
+            .collect();
         let loose = QDigest::from_values(16, 10_000_000, &values);
         let tight = QDigest::from_values(16, 32, &values);
         assert!(tight.node_count() < loose.node_count() / 10);
@@ -357,8 +366,12 @@ mod tests {
     #[test]
     fn merge_matches_combined_build() {
         let mut rng = StdRng::seed_from_u64(5);
-        let a_values: Vec<u64> = (0..3_000).map(|_| rng.random_range(0..1u64 << 10)).collect();
-        let b_values: Vec<u64> = (0..2_000).map(|_| rng.random_range(0..1u64 << 10)).collect();
+        let a_values: Vec<u64> = (0..3_000)
+            .map(|_| rng.random_range(0..1u64 << 10))
+            .collect();
+        let b_values: Vec<u64> = (0..2_000)
+            .map(|_| rng.random_range(0..1u64 << 10))
+            .collect();
         let mut a = QDigest::from_values(10, 16, &a_values);
         let b = QDigest::from_values(10, 16, &b_values);
         a.merge_from(&b);
@@ -376,7 +389,10 @@ mod tests {
         let values: Vec<u64> = (0..10_000u64).collect();
         let d = QDigest::from_values(14, 128, &values);
         let median = d.quantile(0.5).unwrap();
-        assert!((median as i64 - 5_000).unsigned_abs() < 1_200, "median {median}");
+        assert!(
+            (median as i64 - 5_000).unsigned_abs() < 1_200,
+            "median {median}"
+        );
         assert!(d.quantile(0.0).unwrap() <= d.quantile(1.0).unwrap());
         assert_eq!(QDigest::new(4, 4).quantile(0.5), None);
     }
@@ -422,7 +438,9 @@ mod tests {
     #[test]
     fn internal_nodes_respect_threshold_after_compression() {
         let mut rng = StdRng::seed_from_u64(11);
-        let values: Vec<u64> = (0..10_000).map(|_| rng.random_range(0..1u64 << 12)).collect();
+        let values: Vec<u64> = (0..10_000)
+            .map(|_| rng.random_range(0..1u64 << 12))
+            .collect();
         let d = QDigest::from_values(12, 50, &values);
         let threshold = d.total() / d.compression();
         for (&id, &count) in &d.counts {

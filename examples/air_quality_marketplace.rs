@@ -76,7 +76,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         let answer = broker.answer(&request)?;
         let price = pricing.price(customer.accuracy.0, customer.accuracy.1);
-        ledger.record(customer.name, customer.accuracy.0, customer.accuracy.1, price);
+        ledger.record(
+            customer.name,
+            customer.accuracy.0,
+            customer.accuracy.1,
+            price,
+        );
 
         let rel_err = if truth > 0 {
             (answer.value - truth as f64).abs() / truth as f64 * 100.0
@@ -96,7 +101,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("{:-<100}", "");
-    println!("broker revenue: {:.2} credits over {} trades", ledger.total_revenue(), ledger.len());
+    println!(
+        "broker revenue: {:.2} credits over {} trades",
+        ledger.total_revenue(),
+        ledger.len()
+    );
     for (buyer, revenue) in ledger.revenue_by_buyer() {
         println!("  {buyer:<16} {revenue:>10.2}");
     }

@@ -18,17 +18,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let targets = [target];
     let config = AttackConfig::default();
 
-    println!("adversary wants Λ(α={}, δ={}) — variance {:.0}\n", target.0, target.1,
-        model.variance(target.0, target.1));
+    println!(
+        "adversary wants Λ(α={}, δ={}) — variance {:.0}\n",
+        target.0,
+        target.1,
+        model.variance(target.0, target.1)
+    );
 
     // 1. Static certification of three pricing functions.
     let inverse = InverseVariancePricing::new(1e9, model);
     let sqrt = SqrtPrecisionPricing::new(1e5, model);
     let broken = LinearDeltaPricing::new(10.0);
 
-    report("InverseVariance (π = c/V)", find_arbitrage(&inverse, &model, &targets, &config), inverse.price(target.0, target.1));
-    report("SqrtPrecision (π = c/√V)", find_arbitrage(&sqrt, &model, &targets, &config), sqrt.price(target.0, target.1));
-    report("LinearDelta (broken)", find_arbitrage(&broken, &model, &targets, &config), broken.price(target.0, target.1));
+    report(
+        "InverseVariance (π = c/V)",
+        find_arbitrage(&inverse, &model, &targets, &config),
+        inverse.price(target.0, target.1),
+    );
+    report(
+        "SqrtPrecision (π = c/√V)",
+        find_arbitrage(&sqrt, &model, &targets, &config),
+        sqrt.price(target.0, target.1),
+    );
+    report(
+        "LinearDelta (broken)",
+        find_arbitrage(&broken, &model, &targets, &config),
+        broken.price(target.0, target.1),
+    );
 
     // 2. A live attack through the broker: buy 9 answers at a loose
     //    accuracy and average them, then compare against one strict answer.
@@ -40,8 +56,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let loose_alpha = target.0 * 3.0;
     let loose = Accuracy::new(loose_alpha, target.1)?;
 
-    let network =
-        FlatNetwork::from_dataset(&dataset, AirQualityIndex::Ozone, 50, PartitionStrategy::RoundRobin, 7);
+    let network = FlatNetwork::from_dataset(
+        &dataset,
+        AirQualityIndex::Ozone,
+        50,
+        PartitionStrategy::RoundRobin,
+        7,
+    );
     let truth = network.exact_range_count(80.0, 120.0) as f64;
     let mut broker = DataBroker::new(network, 7);
 

@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
 
     println!("\nstanding query: PM in [100, 200], 12 h window, ε-session budget 0.5");
-    println!("{:<8} {:>8} {:>10} {:>14} {:>16}", "epoch", "window", "answer", "ε' spent", "budget left");
+    println!(
+        "{:<8} {:>8} {:>10} {:>14} {:>16}",
+        "epoch", "window", "answer", "ε' spent", "budget left"
+    );
     let mut clock = replay.next_timestamp().unwrap();
     loop {
         clock = clock.plus_seconds(3 * 3_600);
@@ -57,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 result.budget_remaining
             ),
             Err(CoreError::Dp(_)) => {
-                println!("-- session budget exhausted after {} epochs --", monitor.epochs());
+                println!(
+                    "-- session budget exhausted after {} epochs --",
+                    monitor.epochs()
+                );
                 break;
             }
             Err(e) => return Err(e.into()),
@@ -92,8 +98,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         };
         println!(
             "  purchase {round}: quoted {quote:>9.2}, charged {:>9.2}, answer {:>8.1}  [{audit}]",
-            receipt.price,
-            receipt.answer.value
+            receipt.price, receipt.answer.value
         );
     }
     println!(

@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .map(|p| p.iter().filter(|&&v| (40.0..=80.0).contains(&v)).count())
         .sum();
-    println!("true count of CO in [40, 80]: {truth} of {} records\n", values.len());
+    println!(
+        "true count of CO in [40, 80]: {truth} of {} records\n",
+        values.len()
+    );
 
     // --- Flat vs tree: same samples, different communication cost -----
     let p = 0.2;
@@ -66,8 +69,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut threaded = ThreadedNetwork::from_partitions(partitions.clone(), 3);
     threaded.collect_samples(p);
     let est_threaded = RankCounting.estimate(threaded.station(), query);
-    println!("\nthreaded driver (crossbeam channels, 50 worker threads): estimate {est_threaded:.1}");
-    assert_eq!(est_flat, est_threaded, "drivers must agree for the same seed");
+    println!(
+        "\nthreaded driver (crossbeam channels, 50 worker threads): estimate {est_threaded:.1}"
+    );
+    assert_eq!(
+        est_flat, est_threaded,
+        "drivers must agree for the same seed"
+    );
 
     // --- Failure injection ---------------------------------------------
     println!("\nfailure injection at p = {p}:");
@@ -90,7 +98,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             net.station().node_count()
         );
     }
-    println!("\nnote: dead nodes remove their whole population from the estimate (bias ∝ dropout);");
+    println!(
+        "\nnote: dead nodes remove their whole population from the estimate (bias ∝ dropout);"
+    );
     println!("retransmission preserves accuracy at extra message cost; unacknowledged loss breaks");
     println!("the estimator's sampling assumption — the station believes probability p but holds");
     println!("fewer (or no) samples for the affected nodes, so their estimates degrade toward the");

@@ -56,7 +56,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         epsilon: Epsilon::new(1.5)?,
         sensitivity,
     };
-    let quantiles = private_quantiles(&RankCounting, station, &[0.25, 0.5, 0.9], &config, &mut rng)?;
+    let quantiles =
+        private_quantiles(&RankCounting, station, &[0.25, 0.5, 0.9], &config, &mut rng)?;
     println!("\nprivate quantiles (ε = 1.5 total, split across three):");
     let values = dataset.values(AirQualityIndex::ParticulateMatter);
     for q in &quantiles {
@@ -105,11 +106,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             99 + step,
         );
         let mut broker = DataBroker::new(net_take(&mut net), 99 + step);
-        let answer = broker.answer_with_epsilon(
-            RangeQuery::new(100.0, 200.0)?,
-            Epsilon::new(1.0)?,
-            0.5,
-        )?;
+        let answer =
+            broker.answer_with_epsilon(RangeQuery::new(100.0, 200.0)?, Epsilon::new(1.0)?, 0.5)?;
         let truth = broker.network().exact_range_count(100.0, 200.0);
         println!(
             "  {}  window {:>4} records  alerts ≈ {:>6.1}  (true {:>4})",

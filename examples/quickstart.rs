@@ -50,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cost = broker.network().meter().snapshot();
     println!(
         "network cost:     {} samples, {} messages, {} bytes (vs {} raw records)",
-        cost.samples, cost.messages, cost.bytes, dataset.len()
+        cost.samples,
+        cost.messages,
+        cost.bytes,
+        dataset.len()
     );
     Ok(())
 }

@@ -54,7 +54,10 @@ impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CliError::UnknownCommand(c) => {
-                write!(f, "unknown command `{c}` (try: generate, summary, query, histogram)")
+                write!(
+                    f,
+                    "unknown command `{c}` (try: generate, summary, query, histogram)"
+                )
             }
             CliError::BadFlag(flag) => write!(f, "unknown or incomplete flag `{flag}`"),
             CliError::BadValue { flag, value } => {
@@ -300,7 +303,9 @@ fn load_dataset(data: &Option<String>, records: usize, seed: u64) -> Result<Data
     match data {
         Some(path) => prc_data::csv::read_csv_file(path)
             .map_err(|e| CliError::Run(format!("failed to read `{path}`: {e}"))),
-        None => Ok(CityPulseGenerator::new(seed).record_count(records).generate()),
+        None => Ok(CityPulseGenerator::new(seed)
+            .record_count(records)
+            .generate()),
     }
 }
 
@@ -312,13 +317,23 @@ fn load_dataset(data: &Option<String>, records: usize, seed: u64) -> Result<Data
 pub fn run<W: Write>(command: &Command, out: &mut W) -> Result<(), CliError> {
     let io_err = |e: std::io::Error| CliError::Run(format!("write failed: {e}"));
     match command {
-        Command::Generate { records, seed, out: path } => {
-            let dataset = CityPulseGenerator::new(*seed).record_count(*records).generate();
+        Command::Generate {
+            records,
+            seed,
+            out: path,
+        } => {
+            let dataset = CityPulseGenerator::new(*seed)
+                .record_count(*records)
+                .generate();
             prc_data::csv::write_csv_file(path, &dataset)
                 .map_err(|e| CliError::Run(format!("failed to write `{path}`: {e}")))?;
             writeln!(out, "wrote {} records to {path}", dataset.len()).map_err(io_err)?;
         }
-        Command::Summary { data, records, seed } => {
+        Command::Summary {
+            data,
+            records,
+            seed,
+        } => {
             let dataset = load_dataset(data, *records, *seed)?;
             writeln!(out, "{} records", dataset.len()).map_err(io_err)?;
             if let Some((first, last)) = dataset.time_bounds() {
@@ -369,7 +384,9 @@ pub fn run<W: Write>(command: &Command, out: &mut W) -> Result<(), CliError> {
                 RangeQuery::new(*lower, *upper).map_err(|e| CliError::Run(e.to_string()))?,
                 Accuracy::new(*alpha, *delta).map_err(|e| CliError::Run(e.to_string()))?,
             );
-            let answer = broker.answer(&request).map_err(|e| CliError::Run(e.to_string()))?;
+            let answer = broker
+                .answer(&request)
+                .map_err(|e| CliError::Run(e.to_string()))?;
             let pricing =
                 InverseVariancePricing::new(*coefficient, ChebyshevVariance::new(dataset.len()));
             writeln!(out, "query:        {request}").map_err(io_err)?;
@@ -474,8 +491,8 @@ pub fn run<W: Write>(command: &Command, out: &mut W) -> Result<(), CliError> {
                 .map(|i| 200.0 * i as f64 / *buckets as f64)
                 .collect();
             let mut rng = rand::rngs::StdRng::seed_from_u64(*seed);
-            let sensitivity = Sensitivity::new(1.0 / probability)
-                .map_err(|e| CliError::Run(e.to_string()))?;
+            let sensitivity =
+                Sensitivity::new(1.0 / probability).map_err(|e| CliError::Run(e.to_string()))?;
             let histogram = private_histogram(
                 &RankCounting,
                 network.station(),
@@ -511,7 +528,14 @@ mod tests {
 
     #[test]
     fn parses_generate() {
-        let cmd = parse(&args(&["generate", "--out", "/tmp/x.csv", "--records", "100"])).unwrap();
+        let cmd = parse(&args(&[
+            "generate",
+            "--out",
+            "/tmp/x.csv",
+            "--records",
+            "100",
+        ]))
+        .unwrap();
         assert_eq!(
             cmd,
             Command::Generate {
@@ -549,16 +573,16 @@ mod tests {
 
     #[test]
     fn later_flags_override_earlier() {
-        let cmd = parse(&args(&[
-            "summary", "--records", "10", "--records", "20",
-        ]))
-        .unwrap();
+        let cmd = parse(&args(&["summary", "--records", "10", "--records", "20"])).unwrap();
         assert!(matches!(cmd, Command::Summary { records: 20, .. }));
     }
 
     #[test]
     fn parse_errors_are_specific() {
-        assert!(matches!(parse(&args(&[])), Err(CliError::UnknownCommand(_))));
+        assert!(matches!(
+            parse(&args(&[])),
+            Err(CliError::UnknownCommand(_))
+        ));
         assert!(matches!(
             parse(&args(&["frobnicate"])),
             Err(CliError::UnknownCommand(_))
@@ -580,7 +604,9 @@ mod tests {
             Err(CliError::Missing("--lower"))
         ));
         assert!(matches!(
-            parse(&args(&["query", "--lower", "0", "--upper", "1", "--index", "xyz"])),
+            parse(&args(&[
+                "query", "--lower", "0", "--upper", "1", "--index", "xyz"
+            ])),
             Err(CliError::BadValue { .. })
         ));
         // Errors render.
@@ -602,8 +628,19 @@ mod tests {
     #[test]
     fn query_runs_end_to_end() {
         let cmd = parse(&args(&[
-            "query", "--lower", "60", "--upper", "120", "--records", "2000", "--nodes", "10",
-            "--alpha", "0.1", "--delta", "0.6",
+            "query",
+            "--lower",
+            "60",
+            "--upper",
+            "120",
+            "--records",
+            "2000",
+            "--nodes",
+            "10",
+            "--alpha",
+            "0.1",
+            "--delta",
+            "0.6",
         ]))
         .unwrap();
         let mut buf = Vec::new();
@@ -617,7 +654,13 @@ mod tests {
     #[test]
     fn quantile_parses_and_runs() {
         let cmd = parse(&args(&[
-            "quantile", "--records", "2000", "--levels", "0.5,0.9", "--index", "pm",
+            "quantile",
+            "--records",
+            "2000",
+            "--levels",
+            "0.5,0.9",
+            "--index",
+            "pm",
         ]))
         .unwrap();
         match &cmd {
@@ -648,7 +691,13 @@ mod tests {
     #[test]
     fn histogram_runs_end_to_end() {
         let cmd = parse(&args(&[
-            "histogram", "--records", "2000", "--buckets", "5", "--epsilon", "2.0",
+            "histogram",
+            "--records",
+            "2000",
+            "--buckets",
+            "5",
+            "--epsilon",
+            "2.0",
         ]))
         .unwrap();
         let mut buf = Vec::new();
@@ -668,10 +717,7 @@ mod tests {
         let mut buf = Vec::new();
         run(&cmd, &mut buf).unwrap();
 
-        let cmd = parse(&args(&[
-            "summary", "--data", &path_str,
-        ]))
-        .unwrap();
+        let cmd = parse(&args(&["summary", "--data", &path_str])).unwrap();
         let mut buf = Vec::new();
         run(&cmd, &mut buf).unwrap();
         assert!(String::from_utf8(buf).unwrap().contains("300 records"));

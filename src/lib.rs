@@ -63,14 +63,16 @@ pub mod marketplace;
 /// The most common imports, re-exported flat.
 pub mod prelude {
     pub use prc_core::audit::{audit_answer, verify_answer};
-    pub use prc_core::broker::{DataBroker, PrivateAnswer, SamplingPolicy};
-    pub use prc_core::histogram::{private_argmax_bucket, private_histogram, PrivateHistogram};
-    pub use prc_core::quantile::{private_quantile, private_quantiles, QuantileConfig};
+    pub use prc_core::broker::{
+        BatchReport, BatchStats, DataBroker, PrivateAnswer, SamplingPolicy, StageCounters,
+    };
     pub use prc_core::consumer::AnswerBundle;
     pub use prc_core::estimator::{BasicCounting, RangeCountEstimator, RankCounting};
+    pub use prc_core::histogram::{private_argmax_bucket, private_histogram, PrivateHistogram};
     pub use prc_core::optimizer::{
         optimize, NetworkShape, OptimizerConfig, PerturbationPlan, SensitivityPolicy,
     };
+    pub use prc_core::quantile::{private_quantile, private_quantiles, QuantileConfig};
     pub use prc_core::query::{Accuracy, QueryRequest, RangeQuery};
     pub use prc_core::CoreError;
     pub use prc_data::generator::CityPulseGenerator;
@@ -85,7 +87,7 @@ pub mod prelude {
     pub use prc_dp::renyi::RdpAccountant;
     pub use prc_net::energy::{EnergyModel, EnergyReport};
     pub use prc_net::failure::{FailurePlan, LossMode};
-    pub use prc_net::network::{CostMeter, FlatNetwork, ThreadedNetwork};
+    pub use prc_net::network::{CostMeter, FlatNetwork, Network, ThreadedNetwork};
     pub use prc_net::tree::TreeNetwork;
     pub use prc_pricing::arbitrage::{certify, find_arbitrage, AttackConfig};
     pub use prc_pricing::functions::{
@@ -94,6 +96,7 @@ pub mod prelude {
     };
     pub use prc_pricing::history::{HistoryAwarePricing, PrecisionPricing};
     pub use prc_pricing::ledger::TradeLedger;
+    pub use prc_pricing::reuse::{Demand, PostedPriceReuse, ReuseGuard};
     pub use prc_pricing::variance::{ChebyshevVariance, VarianceModel};
     pub use prc_sketch::distributed::{Quantizer, SketchStation};
     pub use prc_sketch::{CountBounds, GkSummary, QDigest};

@@ -18,8 +18,8 @@
 use prc_core::broker::{DataBroker, PrivateAnswer};
 use prc_core::query::QueryRequest;
 use prc_core::CoreError;
-use prc_pricing::history::{HistoryAwarePricing, PrecisionPricing};
 use prc_pricing::functions::PricingFunction;
+use prc_pricing::history::{HistoryAwarePricing, PrecisionPricing};
 use prc_pricing::ledger::TradeLedger;
 use prc_pricing::variance::{ChebyshevVariance, VarianceModel};
 
@@ -129,11 +129,7 @@ where
 
     /// Canonical history key for a request: the exact range queried.
     fn query_key(request: &QueryRequest) -> String {
-        format!(
-            "[{};{}]",
-            request.query.lower(),
-            request.query.upper()
-        )
+        format!("[{};{}]", request.query.lower(), request.query.upper())
     }
 }
 

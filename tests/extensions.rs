@@ -52,8 +52,11 @@ fn sampling_and_sketching_agree_on_the_same_data() {
         assert!(bounds.contains(truth as u64), "sketch bounds miss truth");
         let sampled = RankCounting.estimate(
             network.station(),
-            RangeQuery::new(quantizer.dequantize(a) - quantizer.cell_width() / 2.0,
-                            quantizer.dequantize(b) + quantizer.cell_width() / 2.0).unwrap(),
+            RangeQuery::new(
+                quantizer.dequantize(a) - quantizer.cell_width() / 2.0,
+                quantizer.dequantize(b) + quantizer.cell_width() / 2.0,
+            )
+            .unwrap(),
         );
         assert!(
             (sampled - truth).abs() < 0.1 * truth.max(500.0),
@@ -86,10 +89,19 @@ fn private_histogram_tracks_the_real_distribution() {
         let (lo, hi) = histogram.bucket_bounds(i);
         let truth = values
             .iter()
-            .filter(|&&v| if i == 0 { v >= lo && v <= hi } else { v > lo && v <= hi })
+            .filter(|&&v| {
+                if i == 0 {
+                    v >= lo && v <= hi
+                } else {
+                    v > lo && v <= hi
+                }
+            })
             .count() as f64;
         let err = (histogram.counts()[i] - truth).abs();
-        assert!(err < 0.05 * n, "bucket {i}: err {err} too large (truth {truth})");
+        assert!(
+            err < 0.05 * n,
+            "bucket {i}: err {err} too large (truth {truth})"
+        );
     }
     // And the total mass is close to n.
     assert!((histogram.total() - n).abs() < 0.05 * n);
@@ -185,9 +197,7 @@ fn history_pricing_integrates_with_the_marketplace() {
     let mut total_paid = 0.0;
     for _ in 0..4 {
         let accuracy = Accuracy::new(0.1, 0.6).unwrap();
-        broker
-            .answer(&QueryRequest::new(query, accuracy))
-            .unwrap();
+        broker.answer(&QueryRequest::new(query, accuracy)).unwrap();
         let price = pricing.purchase("repeat-customer", "ozone:[70,130]", 0.1, 0.6);
         ledger.record("repeat-customer", 0.1, 0.6, price);
         total_paid += price;

@@ -27,7 +27,10 @@ fn dropout_biases_low_proportionally() {
         (est / truth - surviving_fraction).abs() < 0.05,
         "estimate {est} should track surviving population {surviving_fraction}"
     );
-    assert!(surviving_fraction < 0.95, "the plan should have killed nodes");
+    assert!(
+        surviving_fraction < 0.95,
+        "the plan should have killed nodes"
+    );
 }
 
 #[test]
@@ -44,7 +47,10 @@ fn retransmit_loss_changes_cost_not_answers() {
     lossy.collect_samples(0.3);
     let lossy_est = RankCounting.estimate(lossy.station(), query);
 
-    assert_eq!(clean_est, lossy_est, "retransmission must not change the data");
+    assert_eq!(
+        clean_est, lossy_est,
+        "retransmission must not change the data"
+    );
     assert!(
         lossy.meter().snapshot().messages > clean.meter().snapshot().messages,
         "retransmission must cost messages"

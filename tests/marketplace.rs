@@ -130,7 +130,10 @@ fn privacy_budget_limits_a_trading_session() {
     assert_eq!(served, 3, "budget should admit exactly three answers");
     // Not fully exhausted (0.2 units remain) but too little for another answer.
     let remaining = broker.accountant().unwrap().remaining().value();
-    assert!(remaining < unit, "remaining {remaining} should not fit another answer");
+    assert!(
+        remaining < unit,
+        "remaining {remaining} should not fit another answer"
+    );
 }
 
 #[test]

@@ -35,7 +35,12 @@ fn full_pipeline_produces_a_priced_private_answer() {
     let pricing = InverseVariancePricing::new(1e8, ChebyshevVariance::new(dataset.len()));
     let price = pricing.price(request.accuracy.alpha(), request.accuracy.delta());
     let mut ledger = TradeLedger::new();
-    ledger.record("customer-1", request.accuracy.alpha(), request.accuracy.delta(), price);
+    ledger.record(
+        "customer-1",
+        request.accuracy.alpha(),
+        request.accuracy.delta(),
+        price,
+    );
     assert_eq!(ledger.len(), 1);
     assert!(ledger.total_revenue() > 0.0);
 }
@@ -87,7 +92,10 @@ fn broker_answers_many_queries_from_one_sample() {
     let mut broker = DataBroker::new(network, 3);
     let accuracy = Accuracy::new(0.1, 0.6).unwrap();
     broker
-        .answer(&QueryRequest::new(RangeQuery::new(80.0, 120.0).unwrap(), accuracy))
+        .answer(&QueryRequest::new(
+            RangeQuery::new(80.0, 120.0).unwrap(),
+            accuracy,
+        ))
         .unwrap();
     let samples_after_first = broker.network().station().total_samples();
     for (l, u) in [(60.0, 90.0), (100.0, 150.0), (0.0, 200.0), (95.0, 96.0)] {
@@ -110,9 +118,7 @@ fn consumer_bundle_averages_broker_answers() {
         RangeQuery::new(85.0, 125.0).unwrap(),
         Accuracy::new(0.15, 0.5).unwrap(),
     );
-    let bundle: AnswerBundle = (0..6)
-        .map(|_| broker.answer(&request).unwrap())
-        .collect();
+    let bundle: AnswerBundle = (0..6).map(|_| broker.answer(&request).unwrap()).collect();
     assert_eq!(bundle.len(), 6);
     let combined = bundle.combined_value().unwrap();
     let single = bundle.answers()[0].value;

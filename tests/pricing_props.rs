@@ -1,0 +1,203 @@
+//! Property-based tests for the arbitrage-avoiding pricing layer.
+//!
+//! Theorem 4.2 reduces arbitrage-freeness to two facts about the curve
+//! `ψ` mapping delivered variance to price: it must fall as answers get
+//! noisier (monotonicity — equivalently, price rises with the implied
+//! per-answer ε), and no *split* of a purchase — averaging a bundle of
+//! cheaper answers, or summing sub-range answers — may reach the target
+//! precision below the posted price (subadditivity). The cache-reuse
+//! guard extends the same posted-price discipline to answers served from
+//! the broker's cache: reuse is allowed only when the buyer's payment
+//! covers the delivered precision at the posted curve.
+
+use proptest::prelude::*;
+
+use prc::prelude::*;
+
+const N: usize = 100_000;
+const COEFF: f64 = 1e6;
+
+fn model() -> ChebyshevVariance {
+    ChebyshevVariance::new(N)
+}
+
+/// The per-answer Laplace ε implied by a delivered variance `v`: the
+/// Laplace mechanism with scale `b` has variance `2b²`, so `ε = Δ/b`
+/// grows as `1/√v` — tighter answers burn more budget.
+fn implied_epsilon(v: f64) -> f64 {
+    (2.0 / v).sqrt()
+}
+
+/// A named variance→price curve `ψ`.
+type Curve = (&'static str, Box<dyn Fn(f64) -> f64>);
+
+/// All three arbitrage-free families, as variance→price curves.
+fn curves() -> [Curve; 3] {
+    let inv = InverseVariancePricing::new(COEFF, model());
+    let sqrt = SqrtPrecisionPricing::new(COEFF, model());
+    let log = LogPrecisionPricing::new(COEFF, model());
+    [
+        ("inverse", Box::new(move |v| inv.price_of_variance(v))),
+        ("sqrt", Box::new(move |v| sqrt.price_of_variance(v))),
+        ("log", Box::new(move |v| log.price_of_variance(v))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Price is monotone in the implied ε: a demand whose answer needs a
+    /// larger per-answer budget never costs less. Exercises both the
+    /// (α, δ) surface and the underlying variance curve.
+    #[test]
+    fn price_is_monotone_in_implied_epsilon(
+        a1 in 0.01f64..0.5,
+        d1 in 0.05f64..0.95,
+        a2 in 0.01f64..0.5,
+        d2 in 0.05f64..0.95,
+    ) {
+        let m = model();
+        let (v1, v2) = (m.variance(a1, d1), m.variance(a2, d2));
+        prop_assume!((v1 - v2).abs() > 1e-12 * v1.max(v2));
+        let eps_ordered = implied_epsilon(v1) > implied_epsilon(v2);
+        for (name, psi) in curves() {
+            let (p1, p2) = (psi(v1), psi(v2));
+            prop_assert!(
+                eps_ordered == (p1 > p2),
+                "{name}: implied-ε order ({}, {}) disagrees with price order ({p1}, {p2})",
+                implied_epsilon(v1),
+                implied_epsilon(v2),
+            );
+        }
+    }
+
+    /// Tightening either accuracy coordinate never lowers the posted
+    /// price (monotonicity on the (α, δ) surface itself).
+    #[test]
+    fn price_is_monotone_in_each_accuracy_coordinate(
+        alpha in 0.02f64..0.4,
+        delta in 0.1f64..0.9,
+        shrink in 0.5f64..1.0,
+        boost in 1.0f64..1.1,
+    ) {
+        let pricing = InverseVariancePricing::new(COEFF, model());
+        let base = pricing.price(alpha, delta);
+        prop_assert!(pricing.price(alpha * shrink, delta) >= base);
+        prop_assert!(pricing.price(alpha, (delta * boost).min(0.99)) >= base);
+    }
+
+    /// Averaging split (Definition 2.3 / Example 4.1): `m` equal, cheaper
+    /// purchases whose equal-weight average reaches the target variance
+    /// must together cost at least the posted target price.
+    #[test]
+    fn uniform_averaging_split_never_undercuts(
+        alpha in 0.01f64..0.2,
+        delta in 0.1f64..0.9,
+        m in 2usize..7,
+        u in 0.0f64..1.0,
+    ) {
+        let v_target = model().variance(alpha, delta);
+        // Element variance m·V·u with u ≥ 1/m keeps each single purchase
+        // cheaper than the target while the m-average reaches V·u ≤ V.
+        let u = (1.0 / m as f64) + u * (1.0 - 1.0 / m as f64);
+        let v_elem = m as f64 * v_target * u;
+        for (name, psi) in curves() {
+            let target_price = psi(v_target);
+            let bundle_cost = m as f64 * psi(v_elem);
+            prop_assert!(
+                bundle_cost >= target_price * (1.0 - 1e-9),
+                "{name}: bundle of {m} at v={v_elem} costs {bundle_cost} < {target_price}"
+            );
+        }
+    }
+
+    /// Mixed-variance averaging split: arbitrary element variances whose
+    /// equal-weight average reaches the target still cost at least the
+    /// posted price.
+    #[test]
+    fn mixed_averaging_split_never_undercuts(
+        alpha in 0.01f64..0.2,
+        delta in 0.1f64..0.9,
+        factors in proptest::collection::vec(1.0f64..6.0, 2..7),
+    ) {
+        let v_target = model().variance(alpha, delta);
+        let m = factors.len() as f64;
+        // Element i gets variance fᵢ·V ≥ V (each single purchase cheaper);
+        // the average has variance (ΣfᵢV)/m² — keep only valid attacks.
+        let avg = factors.iter().sum::<f64>() * v_target / (m * m);
+        prop_assume!(avg <= v_target);
+        for (name, psi) in curves() {
+            let target_price = psi(v_target);
+            let bundle_cost: f64 = factors.iter().map(|f| psi(f * v_target)).sum();
+            prop_assert!(
+                bundle_cost >= target_price * (1.0 - 1e-9),
+                "{name}: mixed bundle costs {bundle_cost} < {target_price}"
+            );
+        }
+    }
+
+    /// Range-split subadditivity: buying two sub-range answers and
+    /// summing them delivers variance `v₁ + v₂`; asking for that combined
+    /// precision directly never costs more than the two pieces.
+    #[test]
+    fn summing_subrange_answers_never_undercuts(
+        a1 in 0.02f64..0.4,
+        d1 in 0.1f64..0.9,
+        a2 in 0.02f64..0.4,
+        d2 in 0.1f64..0.9,
+    ) {
+        let m = model();
+        let (v1, v2) = (m.variance(a1, d1), m.variance(a2, d2));
+        for (name, psi) in curves() {
+            prop_assert!(
+                psi(v1 + v2) <= psi(v1) + psi(v2) + 1e-9,
+                "{name}: whole-range price exceeds the split's total"
+            );
+        }
+    }
+
+    /// Cache-reuse path: the guard is reflexive (an identical cached
+    /// answer is always reusable), and whenever it allows reuse the
+    /// buyer's posted payment covers the delivered precision at the
+    /// posted curve — reuse can never undercut `ψ`.
+    #[test]
+    fn cache_reuse_never_undercuts_the_posted_curve(
+        ra in 0.02f64..0.4,
+        rd in 0.1f64..0.9,
+        ca in 0.02f64..0.4,
+        cd in 0.1f64..0.9,
+    ) {
+        let guard = PostedPriceReuse::new(InverseVariancePricing::new(COEFF, model()), model());
+        let requested = Demand::new(ra, rd);
+        let cached = Demand::new(ca, cd);
+
+        prop_assert!(guard.allows_reuse(requested, requested));
+
+        if guard.allows_reuse(requested, cached) {
+            prop_assert!(cached.at_least_as_strict_as(&requested));
+            let paid = guard.posted_price(requested);
+            let delivered = guard.pricing().price(ca, cd);
+            prop_assert!(
+                paid >= delivered * (1.0 - 1e-6),
+                "reuse delivered a {delivered} answer for {paid}"
+            );
+        }
+    }
+
+    /// Strictly tighter cached answers are never given away: if the cache
+    /// holds a meaningfully stricter answer than requested, the guard
+    /// refuses (the buyer must pay the posted price for the upgrade).
+    #[test]
+    fn strictly_tighter_cached_answers_are_not_reused(
+        alpha in 0.05f64..0.4,
+        delta in 0.1f64..0.8,
+        tighten in 0.02f64..0.5,
+    ) {
+        let guard = PostedPriceReuse::new(InverseVariancePricing::new(COEFF, model()), model());
+        let requested = Demand::new(alpha, delta);
+        let tighter_alpha = Demand::new(alpha * (1.0 - tighten), delta);
+        let tighter_delta = Demand::new(alpha, delta + tighten * (0.95 - delta));
+        prop_assert!(!guard.allows_reuse(requested, tighter_alpha));
+        prop_assert!(!guard.allows_reuse(requested, tighter_delta));
+    }
+}

@@ -80,8 +80,14 @@ fn dynamic_nodes_join_a_live_marketplace() {
     network.collect_samples(0.4);
     let after = RankCounting.estimate(network.station(), query);
 
-    let truth_before = early.iter().filter(|&&v| (40.0..=90.0).contains(&v)).count() as f64;
-    let truth_after = values.iter().filter(|&&v| (40.0..=90.0).contains(&v)).count() as f64;
+    let truth_before = early
+        .iter()
+        .filter(|&&v| (40.0..=90.0).contains(&v))
+        .count() as f64;
+    let truth_after = values
+        .iter()
+        .filter(|&&v| (40.0..=90.0).contains(&v))
+        .count() as f64;
     assert!((before - truth_before).abs() < 0.15 * truth_before.max(200.0));
     assert!((after - truth_after).abs() < 0.15 * truth_after.max(200.0));
     assert!(after > before, "the estimate must grow with the population");
@@ -99,7 +105,10 @@ fn dynamic_nodes_join_a_live_marketplace() {
         .skip(1)
         .filter(|e| e.kind() == "batch_delivered")
         .count();
-    assert_eq!(second_round_deliveries, 2, "only the newcomers ship in round 2");
+    assert_eq!(
+        second_round_deliveries, 2,
+        "only the newcomers ship in round 2"
+    );
 }
 
 #[test]
@@ -114,7 +123,10 @@ fn windowed_broker_answers_match_window_truth() {
         window.ingest_all(replay.advance_by(400));
         let snapshot = window.snapshot();
         let values = snapshot.values(AirQualityIndex::Ozone);
-        let truth = values.iter().filter(|&&v| (70.0..=130.0).contains(&v)).count() as f64;
+        let truth = values
+            .iter()
+            .filter(|&&v| (70.0..=130.0).contains(&v))
+            .count() as f64;
         if truth < 10.0 {
             continue;
         }
@@ -131,7 +143,10 @@ fn windowed_broker_answers_match_window_truth() {
         // bound (exceedance probability < 0.1%).
         let accuracy = Accuracy::new(0.2, 0.9).unwrap();
         let answer = broker
-            .answer(&QueryRequest::new(RangeQuery::new(70.0, 130.0).unwrap(), accuracy))
+            .answer(&QueryRequest::new(
+                RangeQuery::new(70.0, 130.0).unwrap(),
+                accuracy,
+            ))
             .unwrap();
         let allowance = accuracy.alpha() * snapshot.len() as f64;
         assert!(

@@ -72,7 +72,10 @@ fn theorem_3_2_variance_bound_holds() {
     let mean = sum / trials as f64;
     let mse = sum_sq / trials as f64;
     let bound = 8.0 * k as f64 / (p * p);
-    assert!((mean - truth).abs() < 3.0, "bias too large: mean {mean} vs {truth}");
+    assert!(
+        (mean - truth).abs() < 3.0,
+        "bias too large: mean {mean} vs {truth}"
+    );
     assert!(mse <= bound * 1.1, "MSE {mse} exceeds bound {bound}");
 }
 

@@ -1,0 +1,314 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro with `#![proptest_config(...)]`, multiple
+//!   `#[test] fn name(binding in strategy, ...)` items, and `mut`
+//!   bindings;
+//! * range strategies for floats and integers, [`arbitrary::any`], and
+//!   [`collection::vec`];
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`], and
+//!   [`prop_assume!`];
+//! * [`test_runner::ProptestConfig::with_cases`].
+//!
+//! Differences from upstream, by design:
+//!
+//! * **Deterministic seeding.** Every test's RNG is seeded from a stable
+//!   hash of its module path and name (override with the
+//!   `PROPTEST_SEED` environment variable), so failures reproduce
+//!   exactly across runs and machines — the workspace's testing strategy
+//!   requires seeded generators everywhere.
+//! * **No shrinking.** A failing case reports its case number and seed
+//!   instead of a minimized input.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+
+pub mod arbitrary;
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// length is uniform in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "vec size range must be non-empty");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len =
+                self.size.start + (rng.next_u64() as usize) % (self.size.end - self.size.start);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Test execution support: configuration, RNG, and case errors.
+pub mod test_runner {
+    /// Per-test configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to run.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// An assumption (`prop_assume!`) filtered the case out.
+        Reject(String),
+        /// An assertion (`prop_assert!` family) failed.
+        Fail(String),
+    }
+
+    /// The deterministic per-test generator (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl TestRng {
+        /// Seeds from a stable FNV-1a hash of `test_path`, XORed with the
+        /// `PROPTEST_SEED` environment variable when set.
+        pub fn deterministic(test_path: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_path.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            if let Ok(v) = std::env::var("PROPTEST_SEED") {
+                if let Ok(extra) = v.parse::<u64>() {
+                    h ^= extra;
+                }
+            }
+            let mut sm = h;
+            TestRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// A uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+/// Everything a property-test module needs.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `left == right` (left: `{:?}`, right: `{:?}`)",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Fails the current case if both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `left != right` (both: `{:?}`)",
+            l
+        );
+    }};
+}
+
+/// Skips the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Declares property tests. See the crate docs for the supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: munches one `fn` at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($params:tt)* ) $body:block
+      $($rest:tt)*
+    ) => {
+        $crate::__proptest_args! { ($cfg) [$(#[$meta])*] $name [] ( $($params)* ) $body }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: munches the parameter list.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_args {
+    // Terminal: all parameters consumed — emit the test function.
+    ( ($cfg:expr) [$(#[$meta:meta])*] $name:ident
+      [ $( ( ($($pat:tt)+) ($strat:expr) ) )* ] ( ) $body:block
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for case in 0..config.cases {
+                $(
+                    let $($pat)+ = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                )*
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest {} failed at case {}/{}: {}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            msg
+                        );
+                    }
+                }
+            }
+        }
+    };
+    // `mut name in strategy, …`
+    ( ($cfg:expr) [$(#[$meta:meta])*] $name:ident [ $($acc:tt)* ]
+      ( mut $p:ident in $s:expr, $($rest:tt)* ) $body:block
+    ) => {
+        $crate::__proptest_args! { ($cfg) [$(#[$meta])*] $name
+            [ $($acc)* ( (mut $p) ($s) ) ] ( $($rest)* ) $body }
+    };
+    // `mut name in strategy` (last parameter)
+    ( ($cfg:expr) [$(#[$meta:meta])*] $name:ident [ $($acc:tt)* ]
+      ( mut $p:ident in $s:expr ) $body:block
+    ) => {
+        $crate::__proptest_args! { ($cfg) [$(#[$meta])*] $name
+            [ $($acc)* ( (mut $p) ($s) ) ] ( ) $body }
+    };
+    // `name in strategy, …`
+    ( ($cfg:expr) [$(#[$meta:meta])*] $name:ident [ $($acc:tt)* ]
+      ( $p:ident in $s:expr, $($rest:tt)* ) $body:block
+    ) => {
+        $crate::__proptest_args! { ($cfg) [$(#[$meta])*] $name
+            [ $($acc)* ( ($p) ($s) ) ] ( $($rest)* ) $body }
+    };
+    // `name in strategy` (last parameter)
+    ( ($cfg:expr) [$(#[$meta:meta])*] $name:ident [ $($acc:tt)* ]
+      ( $p:ident in $s:expr ) $body:block
+    ) => {
+        $crate::__proptest_args! { ($cfg) [$(#[$meta])*] $name
+            [ $($acc)* ( ($p) ($s) ) ] ( ) $body }
+    };
+}

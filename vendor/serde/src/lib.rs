@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only uses serde in `#[derive(serde::Serialize,
+//! serde::Deserialize)]` position as forward-looking markup — no code
+//! path serializes through the traits yet (figure binaries emit CSV and
+//! JSON by hand). This vendored crate therefore ships marker traits and
+//! no-op derive macros so the annotations compile without crates.io
+//! access. If real serialization lands later, this crate is the single
+//! place to grow (or to swap back for upstream serde).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that declare themselves serializable.
+pub trait Serialize {}
+
+/// Marker for types that declare themselves deserializable.
+pub trait Deserialize<'de> {}
