@@ -13,13 +13,24 @@
 //! answer cache exists for, and what a real marketplace sees when many
 //! buyers ask the popular queries.
 //!
-//! Run with `cargo run -p prc-bench --release --bin bench_batch`.
+//! A second section benchmarks the merged prefix-rank query index
+//! ([`RankIndex`]) against the per-node scan across a grid of node
+//! counts and per-epoch query counts, checks both paths release the
+//! same bits, and writes the trajectory to `BENCH_rank_index.json` at
+//! the repository root.
+//!
+//! Run with `cargo run -p prc-bench --release --bin bench_batch`. Set
+//! `PRC_BENCH_SMOKE=1` to shrink every dimension to CI-smoke sizes
+//! (the determinism and identity self-checks still run and must pass;
+//! the absolute-speedup assertion is skipped).
 
 use std::time::Instant;
 
 use prc_core::broker::{BatchStats, DataBroker};
+use prc_core::estimator::{RangeCountEstimator, RankCounting, RankIndex};
 use prc_core::optimizer::OptimizerConfig;
 use prc_core::query::{Accuracy, QueryRequest, RangeQuery};
+use prc_net::base_station::BaseStation;
 use prc_net::network::{FlatNetwork, Network, ThreadedNetwork};
 use prc_pricing::functions::InverseVariancePricing;
 use prc_pricing::reuse::{PostedPriceReuse, ReuseGuard};
@@ -27,17 +38,37 @@ use prc_pricing::variance::ChebyshevVariance;
 
 const SEED: u64 = 2014;
 const NODES: usize = 16;
-const PER_NODE: usize = 25_000;
 const DISTINCT_QUERIES: usize = 16;
 const REPEATS: usize = 4;
+
+/// True when `PRC_BENCH_SMOKE` asks for CI-smoke sizes.
+fn smoke() -> bool {
+    std::env::var("PRC_BENCH_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Values per node in the batch workload's network.
+fn per_node() -> usize {
+    if smoke() {
+        1_500
+    } else {
+        25_000
+    }
+}
+
 /// High-resolution perturbation planning, identical in every mode: the
 /// finer the `α′` grid, the closer each plan is to the true optimum of
 /// problem (3) — and the more a repeated request benefits from the cache.
-const GRID_POINTS: usize = 10_000;
+fn grid_points() -> usize {
+    if smoke() {
+        400
+    } else {
+        10_000
+    }
+}
 
 fn optimizer() -> OptimizerConfig {
     OptimizerConfig {
-        grid_points: GRID_POINTS,
+        grid_points: grid_points(),
         ..OptimizerConfig::default()
     }
 }
@@ -45,12 +76,12 @@ fn optimizer() -> OptimizerConfig {
 fn partitions() -> Vec<Vec<f64>> {
     // Round-robin global values 0..n so every range spans every node.
     (0..NODES)
-        .map(|i| (0..PER_NODE).map(|j| (i + NODES * j) as f64).collect())
+        .map(|i| (0..per_node()).map(|j| (i + NODES * j) as f64).collect())
         .collect()
 }
 
 fn workload() -> Vec<QueryRequest> {
-    let n = (NODES * PER_NODE) as f64;
+    let n = (NODES * per_node()) as f64;
     let alphas = [0.05, 0.08, 0.1, 0.15];
     let deltas = [0.5, 0.6, 0.7, 0.8];
     let mut distinct = Vec::with_capacity(DISTINCT_QUERIES);
@@ -71,7 +102,7 @@ fn workload() -> Vec<QueryRequest> {
 }
 
 fn reuse_guard() -> Box<dyn ReuseGuard> {
-    let model = ChebyshevVariance::new(NODES * PER_NODE);
+    let model = ChebyshevVariance::new(NODES * per_node());
     Box::new(PostedPriceReuse::new(
         InverseVariancePricing::new(1e9, model),
         model,
@@ -157,6 +188,118 @@ fn mode_json(mode: &ModeResult, total_requests: usize) -> String {
     format!("    {{{}}}", fields.join(", "))
 }
 
+/// One cell of the scan-vs-indexed trajectory: `queries` range queries
+/// answered over a `nodes`-node epoch through both estimator paths.
+struct IndexCell {
+    nodes: usize,
+    queries: usize,
+    merged_entries: usize,
+    build_seconds: f64,
+    scan_seconds: f64,
+    indexed_seconds: f64,
+    identical: bool,
+}
+
+impl IndexCell {
+    /// Per-query speedup of the indexed path, ignoring the build.
+    fn speedup_per_query(&self) -> f64 {
+        self.scan_seconds / self.indexed_seconds.max(1e-12)
+    }
+
+    /// Epoch speedup with the one-off build amortized over the cell's
+    /// queries.
+    fn speedup_amortized(&self) -> f64 {
+        self.scan_seconds / (self.build_seconds + self.indexed_seconds).max(1e-12)
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "    {{\"nodes\": {}, \"queries\": {}, \"merged_entries\": {}, \"build_seconds\": {:.6}, \"scan_seconds\": {:.6}, \"indexed_seconds\": {:.6}, \"scan_qps\": {:.2}, \"indexed_qps\": {:.2}, \"speedup_per_query\": {:.2}, \"speedup_amortized\": {:.2}, \"identical\": {}}}",
+            self.nodes,
+            self.queries,
+            self.merged_entries,
+            self.build_seconds,
+            self.scan_seconds,
+            self.indexed_seconds,
+            queries_per_sec(self.queries, self.scan_seconds),
+            queries_per_sec(self.queries, self.indexed_seconds),
+            self.speedup_per_query(),
+            self.speedup_amortized(),
+            self.identical,
+        )
+    }
+}
+
+/// Collects one epoch's station for the index trajectory: `k` nodes with
+/// `per_node` contiguous values each, sampled at `p`.
+fn trajectory_station(k: usize, per_node: usize, p: f64) -> BaseStation {
+    let partitions: Vec<Vec<f64>> = (0..k)
+        .map(|i| (0..per_node).map(|j| (i * per_node + j) as f64).collect())
+        .collect();
+    let mut network = FlatNetwork::from_partitions(partitions, SEED);
+    network.collect_samples(p);
+    network.station().clone()
+}
+
+/// A deterministic mixed-width query workload over support `[0, n)`.
+fn trajectory_queries(count: usize, n: f64) -> Vec<RangeQuery> {
+    (0..count)
+        .map(|i| {
+            let lower = n * 0.9 * ((i * 61) % 128) as f64 / 128.0;
+            let width = n * (0.05 + 0.3 * ((i * 37) % 16) as f64 / 16.0);
+            RangeQuery::new(lower, (lower + width).min(n)).expect("valid range")
+        })
+        .collect()
+}
+
+/// Benchmarks scan vs indexed estimation across node and query counts.
+///
+/// Every cell verifies bit-identity between the two paths before its
+/// timings are trusted; the caller asserts on the `identical` flags.
+fn index_trajectory() -> Vec<IndexCell> {
+    let (node_counts, query_counts, per_node): (&[usize], &[usize], usize) = if smoke() {
+        (&[16, 64], &[4, 16], 64)
+    } else {
+        (&[64, 1_024, 16_384], &[16, 256, 4_096], 128)
+    };
+    let p = 0.25;
+    let mut cells = Vec::new();
+    for &k in node_counts {
+        let station = trajectory_station(k, per_node, p);
+        let build_start = Instant::now();
+        let index = RankIndex::build(&station).expect("uniform station builds");
+        let build_seconds = build_start.elapsed().as_secs_f64();
+        for &count in query_counts {
+            let queries = trajectory_queries(count, (k * per_node) as f64);
+
+            let scan_start = Instant::now();
+            let scanned: Vec<u64> = queries
+                .iter()
+                .map(|&q| RankCounting.estimate(&station, q).to_bits())
+                .collect();
+            let scan_seconds = scan_start.elapsed().as_secs_f64();
+
+            let indexed_start = Instant::now();
+            let indexed: Vec<u64> = queries
+                .iter()
+                .map(|&q| index.estimate(q).to_bits())
+                .collect();
+            let indexed_seconds = indexed_start.elapsed().as_secs_f64();
+
+            cells.push(IndexCell {
+                nodes: k,
+                queries: count,
+                merged_entries: index.merged_entries(),
+                build_seconds,
+                scan_seconds,
+                indexed_seconds,
+                identical: scanned == indexed,
+            });
+        }
+    }
+    cells
+}
+
 fn main() {
     let requests = workload();
     let total = requests.len();
@@ -193,7 +336,7 @@ fn main() {
         .join(",\n");
     let json = format!(
         "{{\n  \"workload\": {{\"requests\": {total}, \"distinct\": {DISTINCT_QUERIES}, \"nodes\": {NODES}, \"population\": {}, \"seed\": {SEED}}},\n  \"modes\": [\n{modes}\n  ],\n  \"speedup_vs_sequential\": {{\"batched_flat\": {speedup_flat:.2}, \"batched_threaded\": {speedup_threaded:.2}}},\n  \"deterministic_flat\": {deterministic},\n  \"flat_threaded_identical\": {drivers_agree}\n}}",
-        NODES * PER_NODE,
+        NODES * per_node(),
     );
     println!("{json}");
 
@@ -210,4 +353,49 @@ fn main() {
         drivers_agree,
         "flat and threaded drivers must release identical answers"
     );
+
+    // Scan-vs-indexed trajectory: the perf record this PR sequence tracks.
+    let cells = index_trajectory();
+    let all_identical = cells.iter().all(|c| c.identical);
+    let cell_json = cells
+        .iter()
+        .map(IndexCell::json)
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let index_json = format!(
+        "{{\n  \"bench\": \"rank_index\",\n  \"smoke\": {},\n  \"seed\": {SEED},\n  \"probability\": 0.25,\n  \"cells\": [\n{cell_json}\n  ],\n  \"all_identical\": {all_identical}\n}}",
+        smoke(),
+    );
+    println!("{index_json}");
+
+    // The trajectory lands at the repository root so successive PRs can
+    // diff it; fall back to CWD when the manifest-relative path is absent.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let target = if root.is_dir() {
+        root.join("BENCH_rank_index.json")
+    } else {
+        std::path::PathBuf::from("BENCH_rank_index.json")
+    };
+    match std::fs::write(&target, &index_json) {
+        Ok(()) => eprintln!("json: {}", target.display()),
+        Err(e) => eprintln!("could not write {}: {e}", target.display()),
+    }
+
+    assert!(
+        all_identical,
+        "indexed estimates diverged from the scan path"
+    );
+    if !smoke() {
+        for cell in &cells {
+            if cell.nodes >= 16_384 && cell.queries >= 256 {
+                let speedup = cell.speedup_per_query();
+                assert!(
+                    speedup >= 5.0,
+                    "index must be ≥5× faster per query at k={} q={} (got {speedup:.2}×)",
+                    cell.nodes,
+                    cell.queries,
+                );
+            }
+        }
+    }
 }

@@ -9,6 +9,21 @@
 //! per-tier estimator evaluations out over crossbeam scoped threads, and
 //! serves repeat requests from an arbitrage-consistent answer cache
 //! guarded by the pricing layer ([`prc_pricing::reuse`]).
+//!
+//! # Epoch-scoped query index
+//!
+//! When the estimator offers a [`QueryIndex`] (RankCounting's
+//! [`crate::estimator::RankIndex`]), the broker builds it lazily once per
+//! *collection epoch* — the span between two sample-collection rounds —
+//! and answers every estimate in the epoch through it in `O(log S)`
+//! instead of the `O(k log s)` per-node walk. The index is invalidated
+//! whenever [`prc_net::network::Network::collect_samples`] runs and is
+//! revalidated against a station fingerprint before every use, so
+//! external mutation through [`DataBroker::network_mut`] can never serve
+//! stale answers. Stations below
+//! [`DataBroker::DEFAULT_INDEX_THRESHOLD`] total samples skip the build
+//! and use the direct scan; both paths are **bit-identical** by
+//! construction, so the cutover is unobservable in released answers.
 
 use std::collections::BTreeMap;
 
@@ -22,7 +37,7 @@ use prc_pricing::reuse::{Demand, ReuseGuard};
 
 use crate::accuracy::required_probability_clamped;
 use crate::error::CoreError;
-use crate::estimator::{RangeCountEstimator, RankCounting};
+use crate::estimator::{QueryIndex, RangeCountEstimator, RankCounting};
 use crate::optimizer::{optimize, NetworkShape, OptimizerConfig, PerturbationPlan};
 use crate::query::{Accuracy, QueryRequest, RangeQuery};
 
@@ -109,6 +124,10 @@ pub struct StageCounters {
     pub cache_misses: u64,
     /// Answers released (fresh and cached).
     pub answers_released: u64,
+    /// Query-index builds (at most one per collection epoch).
+    pub index_builds: u64,
+    /// Estimates answered through a query index instead of the scan.
+    pub indexed_estimates: u64,
 }
 
 /// Aggregate statistics for one [`DataBroker::answer_batch`] call.
@@ -128,6 +147,10 @@ pub struct BatchStats {
     pub chargeable_messages: u64,
     /// Widest estimator fan-out used by any tier.
     pub fan_out_threads: u64,
+    /// Query-index builds triggered by this batch.
+    pub index_builds: u64,
+    /// Estimates in this batch answered through a query index.
+    pub indexed_estimates: u64,
 }
 
 /// The outcome of one batched call: per-request results in input order,
@@ -151,6 +174,28 @@ impl BatchReport {
 /// plan, all as exact bit patterns (grouped by range, so lookups scan the
 /// contiguous key span of one range).
 type CacheKey = (u64, u64, u64);
+
+/// Snapshot of the station state a query index was built against: the
+/// uniform sampling probability (as exact bits, `None` when the station
+/// is heterogeneous) and the total sample count. Any state change a
+/// collection round — or an out-of-band [`DataBroker::network_mut`]
+/// mutation — can make to the answer of a query moves at least one of
+/// these, so a matching fingerprint certifies the index is current.
+type IndexFingerprint = (Option<u64>, usize);
+
+/// The broker's per-epoch query-index slot.
+#[derive(Debug, Default)]
+enum IndexState {
+    /// No index and no knowledge of the station (initial state, and the
+    /// state after every collection round).
+    #[default]
+    Stale,
+    /// The station was inspected at this fingerprint and no index could
+    /// (or should) be built; don't retry until the station changes.
+    Unavailable(IndexFingerprint),
+    /// A live index built at this fingerprint.
+    Ready(IndexFingerprint, Box<dyn QueryIndex>),
+}
 
 /// The data broker: answers `Λ(α, δ)` requests over any [`Network`].
 ///
@@ -180,6 +225,8 @@ pub struct DataBroker<E = RankCounting, N = FlatNetwork> {
     reuse_guard: Option<Box<dyn ReuseGuard>>,
     cache: BTreeMap<CacheKey, PrivateAnswer>,
     counters: StageCounters,
+    index: IndexState,
+    index_threshold: usize,
 }
 
 impl<N: Network> DataBroker<RankCounting, N> {
@@ -202,7 +249,26 @@ impl<E: RangeCountEstimator, N: Network> DataBroker<E, N> {
             reuse_guard: None,
             cache: BTreeMap::new(),
             counters: StageCounters::default(),
+            index: IndexState::Stale,
+            index_threshold: Self::DEFAULT_INDEX_THRESHOLD,
         }
+    }
+
+    /// Stations below this many total samples skip the query-index build:
+    /// the per-node scan is already cheap there and the `O(S log S)`
+    /// build would never amortize.
+    pub const DEFAULT_INDEX_THRESHOLD: usize = 512;
+
+    /// Sets the minimum total sample count at which the broker builds a
+    /// query index (`0` always tries, `usize::MAX` disables indexing).
+    pub fn set_index_threshold(&mut self, threshold: usize) {
+        self.index_threshold = threshold;
+        self.index = IndexState::Stale;
+    }
+
+    /// The current index threshold.
+    pub fn index_threshold(&self) -> usize {
+        self.index_threshold
     }
 
     /// Replaces the optimizer configuration.
@@ -305,9 +371,7 @@ impl<E: RangeCountEstimator, N: Network> DataBroker<E, N> {
             accountant.spend(plan.effective_epsilon)?;
         }
 
-        let sample_estimate = self
-            .estimator
-            .estimate(self.network.station(), request.query);
+        let sample_estimate = self.estimate_current(request.query);
         let shape = NetworkShape::from_station(self.network.station())?;
         let answer = self.release(request, plan, sample_estimate, shape)?;
         self.cache_store(&answer);
@@ -417,9 +481,16 @@ impl<E: RangeCountEstimator, N: Network> DataBroker<E, N> {
                 // station is immutable for the rest of the tier, so worker
                 // threads share it; chunked spawning keeps the result
                 // order (and therefore the released answers)
-                // deterministic.
+                // deterministic. With a query index ready for this epoch,
+                // every worker answers through it — same bits as the
+                // scan, `O(log S)` per query instead of `O(k log s)`.
+                self.prepare_index();
                 let station = self.network.station();
                 let estimator = &self.estimator;
+                let index = match &self.index {
+                    IndexState::Ready(_, index) => Some(index.as_ref()),
+                    _ => None,
+                };
                 let threads = std::thread::available_parallelism()
                     .map(std::num::NonZeroUsize::get)
                     .unwrap_or(1)
@@ -434,7 +505,10 @@ impl<E: RangeCountEstimator, N: Network> DataBroker<E, N> {
                             scope.spawn(move || {
                                 chunk
                                     .iter()
-                                    .map(|&(i, _)| estimator.estimate(station, requests[i].query))
+                                    .map(|&(i, _)| match index {
+                                        Some(index) => index.estimate(requests[i].query),
+                                        None => estimator.estimate(station, requests[i].query),
+                                    })
                                     .collect::<Vec<f64>>()
                             })
                         })
@@ -445,6 +519,9 @@ impl<E: RangeCountEstimator, N: Network> DataBroker<E, N> {
                         .collect()
                 })
                 .expect("estimator scope failed");
+                if index.is_some() {
+                    self.counters.indexed_estimates += pending.len() as u64;
+                }
 
                 // Stage 5: noise and release, sequential in input order so
                 // the broker's noise stream is independent of the fan-out.
@@ -487,6 +564,9 @@ impl<E: RangeCountEstimator, N: Network> DataBroker<E, N> {
                 chargeable_messages: meter_after.chargeable_messages()
                     - meter_before.chargeable_messages(),
                 fan_out_threads,
+                index_builds: counters_after.index_builds - counters_before.index_builds,
+                indexed_estimates: counters_after.indexed_estimates
+                    - counters_before.indexed_estimates,
             },
         }
     }
@@ -521,7 +601,7 @@ impl<E: RangeCountEstimator, N: Network> DataBroker<E, N> {
         if let Some(accountant) = &mut self.accountant {
             accountant.spend(effective)?;
         }
-        let sample_estimate = self.estimator.estimate(self.network.station(), query);
+        let sample_estimate = self.estimate_current(query);
         let noise = Laplace::centered(noise_scale)?.sample(&mut self.rng);
         let plan = PerturbationPlan {
             alpha_prime: f64::NAN,
@@ -598,6 +678,9 @@ impl<E: RangeCountEstimator, N: Network> DataBroker<E, N> {
     }
 
     /// Tops the network up to probability `target` when it lags.
+    ///
+    /// A round that actually collects starts a new epoch: any query
+    /// index built against the previous sample state is invalidated.
     fn ensure_probability(&mut self, target: f64) {
         let current = self.network.station().effective_probability();
         if current < target {
@@ -606,6 +689,52 @@ impl<E: RangeCountEstimator, N: Network> DataBroker<E, N> {
                 .collect_samples(target.clamp(f64::MIN_POSITIVE, 1.0));
             self.counters.collection_rounds += 1;
             self.counters.samples_collected += delivered as u64;
+            self.index = IndexState::Stale;
+        }
+    }
+
+    /// Makes the index slot reflect the station's *current* state: keeps
+    /// a slot whose fingerprint still matches, otherwise rebuilds (or
+    /// records unavailability) at the current fingerprint. After this
+    /// returns, an `IndexState::Ready` slot is safe to answer from.
+    fn prepare_index(&mut self) {
+        let station = self.network.station();
+        let fingerprint: IndexFingerprint = (
+            station.uniform_probability().map(f64::to_bits),
+            station.total_samples(),
+        );
+        let current = match &self.index {
+            IndexState::Stale => false,
+            IndexState::Unavailable(f) | IndexState::Ready(f, _) => *f == fingerprint,
+        };
+        if current {
+            return;
+        }
+        let built = if station.total_samples() >= self.index_threshold {
+            self.estimator.build_index(station)
+        } else {
+            None
+        };
+        self.index = match built {
+            Some(index) => {
+                self.counters.index_builds += 1;
+                IndexState::Ready(fingerprint, index)
+            }
+            None => IndexState::Unavailable(fingerprint),
+        };
+    }
+
+    /// Runs one estimate against the station's current state, through
+    /// the epoch's query index when one is available (bit-identical to
+    /// the direct scan by the [`QueryIndex`] contract).
+    fn estimate_current(&mut self, query: RangeQuery) -> f64 {
+        self.prepare_index();
+        match &self.index {
+            IndexState::Ready(_, index) => {
+                self.counters.indexed_estimates += 1;
+                index.estimate(query)
+            }
+            _ => self.estimator.estimate(self.network.station(), query),
         }
     }
 
@@ -941,5 +1070,108 @@ mod tests {
         let report = broker.answer_batch(&[request(0.0, 1.0, 0.1, 0.5)]);
         assert!(matches!(report.answers[0], Err(CoreError::NoSamples)));
         assert_eq!(report.stats.rate_tiers, 0);
+    }
+
+    #[test]
+    fn indexed_batches_release_the_same_bits_as_scan_batches() {
+        let workload: Vec<QueryRequest> = vec![
+            request(0.0, 2_000.0, 0.15, 0.5),
+            request(1_000.0, 3_000.0, 0.08, 0.7),
+            request(500.0, 3_500.0, 0.15, 0.5),
+            request(-10.0, -1.0, 0.15, 0.5),      // below support
+            request(1_000.0, 3_000.0, 0.08, 0.7), // duplicate
+        ];
+        let run = |threshold: usize| {
+            let mut broker = DataBroker::new(network(8, 700, 21), 21);
+            broker.set_index_threshold(threshold);
+            let report = broker.answer_batch(&workload);
+            let bits: Vec<u64> = report
+                .answers
+                .iter()
+                .map(|r| r.as_ref().unwrap().value.to_bits())
+                .collect();
+            (bits, report.stats)
+        };
+        let (indexed_bits, indexed_stats) = run(0);
+        let (scan_bits, scan_stats) = run(usize::MAX);
+        assert_eq!(indexed_bits, scan_bits, "index changed released bits");
+        assert!(indexed_stats.index_builds >= 1);
+        assert!(indexed_stats.indexed_estimates >= workload.len() as u64 - 1);
+        assert_eq!(scan_stats.index_builds, 0);
+        assert_eq!(scan_stats.indexed_estimates, 0);
+    }
+
+    #[test]
+    fn single_answers_use_the_index_and_match_scan() {
+        let req = request(200.0, 3_300.0, 0.1, 0.6);
+        let run = |threshold: usize| {
+            let mut broker = DataBroker::new(network(6, 800, 33), 33);
+            broker.set_index_threshold(threshold);
+            let answer = broker.answer(&req).unwrap();
+            (answer.value.to_bits(), broker.counters())
+        };
+        let (indexed, ic) = run(0);
+        let (scanned, sc) = run(usize::MAX);
+        assert_eq!(indexed, scanned);
+        assert_eq!(ic.index_builds, 1);
+        assert_eq!(ic.indexed_estimates, 1);
+        assert_eq!(sc.index_builds, 0);
+        assert_eq!(sc.indexed_estimates, 0);
+    }
+
+    #[test]
+    fn collection_rounds_invalidate_the_index() {
+        let mut broker = DataBroker::new(network(5, 2_000, 7), 7);
+        broker.set_index_threshold(0);
+        broker.answer(&request(0.0, 10_000.0, 0.2, 0.5)).unwrap();
+        let after_first = broker.counters();
+        assert_eq!(after_first.index_builds, 1);
+        // Same epoch: a second loose query reuses the built index.
+        broker.answer(&request(0.0, 4_000.0, 0.2, 0.5)).unwrap();
+        assert_eq!(broker.counters().index_builds, 1);
+        assert_eq!(broker.counters().indexed_estimates, 2);
+        // A stricter query forces a top-up, which must rebuild.
+        broker.answer(&request(0.0, 10_000.0, 0.03, 0.9)).unwrap();
+        let after_strict = broker.counters();
+        assert!(after_strict.collection_rounds > after_first.collection_rounds);
+        assert_eq!(after_strict.index_builds, 2);
+    }
+
+    #[test]
+    fn small_stations_stay_on_the_scan_path() {
+        // Default threshold (512 samples) far exceeds what this tiny
+        // network can deliver, so no index is ever built.
+        let mut broker = DataBroker::new(network(3, 50, 9), 9);
+        assert_eq!(
+            broker.index_threshold(),
+            DataBroker::<RankCounting, FlatNetwork>::DEFAULT_INDEX_THRESHOLD
+        );
+        broker.answer(&request(0.0, 100.0, 0.2, 0.5)).unwrap();
+        assert_eq!(broker.counters().index_builds, 0);
+        assert_eq!(broker.counters().indexed_estimates, 0);
+    }
+
+    #[test]
+    fn fixed_epsilon_hook_matches_bits_across_paths() {
+        let q = RangeQuery::new(0.0, 2_500.0).unwrap();
+        let run = |threshold: usize| {
+            let mut broker = DataBroker::new(network(5, 1_000, 5), 5);
+            broker.set_index_threshold(threshold);
+            broker
+                .answer_with_epsilon(q, Epsilon::new(2.0).unwrap(), 0.4)
+                .unwrap()
+                .value
+                .to_bits()
+        };
+        assert_eq!(run(0), run(usize::MAX));
+    }
+
+    #[test]
+    fn estimators_without_an_index_never_build_one() {
+        let mut broker = DataBroker::with_estimator(network(5, 1_000, 4), BasicCounting, 4);
+        broker.set_index_threshold(0);
+        broker.answer(&request(0.0, 2_500.0, 0.1, 0.6)).unwrap();
+        assert_eq!(broker.counters().index_builds, 0);
+        assert_eq!(broker.counters().indexed_estimates, 0);
     }
 }

@@ -41,12 +41,13 @@ impl RangeCountEstimator for BasicCounting {
         if sample.population_size == 0 || sample.probability <= 0.0 {
             return 0.0;
         }
-        let in_range = sample
-            .entries()
-            .iter()
-            .filter(|e| query.contains(e.value))
-            .count();
-        in_range as f64 / sample.probability
+        // Entries are sorted by rank, and rank order is value order, so
+        // the in-range count is the gap between two binary searches —
+        // O(log s) instead of the former linear scan.
+        let entries = sample.entries();
+        let below = entries.partition_point(|e| e.value < query.lower());
+        let through = entries.partition_point(|e| e.value <= query.upper());
+        (through - below) as f64 / sample.probability
     }
 
     fn variance_bound(&self, _k: usize, n: usize, p: f64) -> f64 {
@@ -158,5 +159,31 @@ mod tests {
     fn name_is_stable() {
         assert_eq!(BasicCounting.name(), "BasicCounting");
         assert_eq!(BasicCounting::new(), BasicCounting);
+    }
+
+    #[test]
+    fn binary_search_matches_linear_scan() {
+        // Duplicate-heavy values and every boundary alignment.
+        let s = sample(
+            &[(1.0, 1), (3.0, 3), (3.0, 4), (3.0, 5), (7.0, 8), (9.0, 9)],
+            20,
+            0.4,
+        );
+        for l in [-1.0, 1.0, 2.0, 3.0, 6.9, 9.0, 10.0] {
+            for u in [1.0, 3.0, 5.0, 7.0, 9.0, 42.0] {
+                if u < l {
+                    continue;
+                }
+                let query = q(l, u);
+                let scan = s
+                    .entries()
+                    .iter()
+                    .filter(|e| query.contains(e.value))
+                    .count();
+                let expected = scan as f64 / 0.4;
+                let actual = BasicCounting.estimate_node(&s, query);
+                assert_eq!(actual.to_bits(), expected.to_bits(), "({l}, {u})");
+            }
+        }
     }
 }

@@ -1,0 +1,578 @@
+//! The merged prefix-rank query index: `O(log S)` RankCounting.
+//!
+//! The per-node RankCounting path answers a query `[l, u]` with **two
+//! binary searches per node** — `O(k·log s)` over `k` nodes. That is fine
+//! for one query, but the broker's whole value proposition is amortizing
+//! one collection epoch across many priced queries, and at `k` in the tens
+//! of thousands the per-node scan dominates every batch. [`RankIndex`]
+//! removes the `k` factor: after a collection epoch it merges all `S`
+//! sample entries into one value-sorted structure-of-arrays whose prefix
+//! sums encode *every* node's boundary state at every threshold, so one
+//! query costs **two binary searches total** — `O(log S)`.
+//!
+//! ## The per-case decomposition
+//!
+//! Theorem 3.1 gives four per-node cases, depending on whether the
+//! boundary predecessor `𝔭(l, i)` (largest-rank sample with value `< l`)
+//! and successor `𝔰(u, i)` (smallest-rank sample with value `> u`) exist:
+//!
+//! ```text
+//! γ̂ᵢ = rank(𝔰) − rank(𝔭) + 1 − 2/p   (both)
+//!    = n_i − rank(𝔭) + 1 − 1/p       (predecessor only)
+//!    = rank(𝔰) − 1/p                 (successor only)
+//!    = n_i                           (neither)
+//! ```
+//!
+//! Every case is of the form `Aᵢ − Bᵢ/p` with `Aᵢ ∈ ℤ` and
+//! `Bᵢ = [𝔭 exists] + [𝔰 exists] ∈ {0, 1, 2}`, and the global sum
+//! regroups into five range-decomposable integer aggregates:
+//!
+//! ```text
+//! Σᵢ Aᵢ = Σ_{𝔰 exists} rank(𝔰)            (R_succ)
+//!       − Σ_{𝔭 exists} rank(𝔭)            (R_pred)
+//!       + #{i : 𝔭 exists}                  (C_pred)
+//!       + Σ_{𝔰 missing} n_i                (N − N_succ)
+//! Σᵢ Bᵢ = C_pred + #{i : 𝔰 exists}         (C_succ)
+//! ```
+//!
+//! In the merged value-sorted order, each node's entries keep their rank
+//! order, so "node `i`'s predecessor under threshold `c`" is simply its
+//! *last* entry among the first `c` merged entries. Extending the prefix
+//! by one entry of node `i` with rank `r` therefore changes `R_pred` by
+//! `r − r_prev` (the node's previous entry's rank, `0` for its first) —
+//! a per-entry constant. The same telescoping works from the right for
+//! `R_succ`. All five aggregates become prefix/suffix sums over per-entry
+//! deltas, evaluated at the two cut positions
+//! `pos_l = #{values < l}` and `pos_u = #{values ≤ u}`.
+//!
+//! ## Bit-exact agreement with the per-node path
+//!
+//! Both the indexed path and the per-node scan ([`scan_rank_terms`])
+//! accumulate the *same* exact integers `(ΣA, ΣB)` and apply the *same*
+//! final float expression ([`finish_rank_terms`]), so their results are
+//! bit-identical by construction — the broker may switch between them
+//! freely without perturbing PR 1's determinism and cross-driver identity
+//! guarantees. The decomposition requires one shared `1/p`, so the index
+//! only exists for stations whose data-bearing nodes report one uniform
+//! positive sampling probability ([`BaseStation::uniform_probability`]);
+//! heterogeneous stations stay on the per-node path.
+//!
+//! ## Complexity
+//!
+//! | path                | per query      | build                   |
+//! |---------------------|----------------|-------------------------|
+//! | per-node scan       | `O(k log s)`   | —                       |
+//! | [`RankIndex`]       | `O(log S)`     | `O(S log S)` (parallel) |
+//!
+//! The build shards one run per node (entries are already value-sorted),
+//! k-way merges shards over crossbeam scoped threads, and accumulates the
+//! prefix/suffix arrays in one sequential pass.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use prc_net::base_station::{BaseStation, NodeSample};
+
+use crate::estimator::QueryIndex;
+use crate::query::RangeQuery;
+
+/// The canonical combine step shared by the indexed and per-node paths:
+/// `ΣA − ΣB/p` evaluated with one fixed floating-point expression.
+///
+/// Keeping this a single function is what makes the two paths bit-exact:
+/// both feed it identical exact integers, so both release identical bits.
+/// With `p = 1` the result is an exact integer (the estimator degenerates
+/// to exact counting).
+pub fn finish_rank_terms(sum_a: i64, sum_b: i64, p: f64) -> f64 {
+    sum_a as f64 - sum_b as f64 / p
+}
+
+/// The per-node reference path: accumulates the exact integer aggregates
+/// `(ΣA, ΣB)` with two binary searches per data-bearing node.
+///
+/// [`crate::estimator::RankCounting::estimate`] uses this whenever the
+/// station reports a uniform sampling probability; [`RankIndex`] must
+/// agree with it bit-for-bit on every query (enforced by the build's
+/// property tests and the benches' self-checks).
+pub fn scan_rank_terms(station: &BaseStation, query: RangeQuery) -> (i64, i64) {
+    let mut sum_a: i64 = 0;
+    let mut sum_b: i64 = 0;
+    for sample in station.data_bearing_samples() {
+        let entries = sample.entries();
+        // Entries are sorted by rank, hence by value (node data is sorted).
+        let pred_idx = entries.partition_point(|e| e.value < query.lower());
+        if pred_idx > 0 {
+            sum_a += 1 - i64::from(entries[pred_idx - 1].rank);
+            sum_b += 1;
+        }
+        let succ_idx = entries.partition_point(|e| e.value <= query.upper());
+        match entries.get(succ_idx) {
+            Some(succ) => {
+                sum_a += i64::from(succ.rank);
+                sum_b += 1;
+            }
+            None => sum_a += sample.population_size as i64,
+        }
+    }
+    (sum_a, sum_b)
+}
+
+/// One merged entry with its telescoping deltas, produced per node before
+/// the merge (a node's neighbours in merged order are its neighbours in
+/// its own rank-sorted slice).
+#[derive(Debug, Clone, Copy)]
+struct MergedEntry {
+    value: f64,
+    /// Dense node index (position among data-bearing nodes) — merge
+    /// tie-break only.
+    node: u32,
+    /// Local rank — merge tie-break for within-node duplicates.
+    rank: u32,
+    /// `rank − rank_prev` (`rank` for the node's first entry).
+    pred_delta: i64,
+    /// `rank − rank_next` (`rank` for the node's last entry).
+    succ_delta: i64,
+    /// This is the node's first entry (opens its predecessor case).
+    first: bool,
+    /// This is the node's last entry (closes its successor case).
+    last: bool,
+    /// `n_i` on the node's last entry, else `0` (suffix population sum).
+    pop: i64,
+}
+
+fn merged_entry(sample: &NodeSample, dense: u32, pos: usize) -> MergedEntry {
+    let entries = sample.entries();
+    let e = entries[pos];
+    let prev = if pos > 0 {
+        i64::from(entries[pos - 1].rank)
+    } else {
+        0
+    };
+    let next = if pos + 1 < entries.len() {
+        i64::from(entries[pos + 1].rank)
+    } else {
+        0
+    };
+    let last = pos + 1 == entries.len();
+    MergedEntry {
+        value: e.value,
+        node: dense,
+        rank: e.rank,
+        pred_delta: i64::from(e.rank) - prev,
+        succ_delta: i64::from(e.rank) - next,
+        first: pos == 0,
+        last,
+        pop: if last {
+            sample.population_size as i64
+        } else {
+            0
+        },
+    }
+}
+
+/// Heap key: ascending `(value, node, rank)` — a total order because
+/// `(node, rank)` is unique, so the merged order (and the index it
+/// produces) is deterministic regardless of sharding or thread count.
+#[derive(Debug, Clone, Copy)]
+struct MergeKey {
+    value: f64,
+    node: u32,
+    rank: u32,
+}
+
+impl PartialEq for MergeKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for MergeKey {}
+impl PartialOrd for MergeKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for MergeKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.value
+            .total_cmp(&other.value)
+            .then_with(|| self.node.cmp(&other.node))
+            .then_with(|| self.rank.cmp(&other.rank))
+    }
+}
+
+/// K-way merges already-sorted runs of entries into one sorted vector.
+fn merge_runs(runs: Vec<Vec<MergedEntry>>, capacity: usize) -> Vec<MergedEntry> {
+    let mut runs: Vec<Vec<MergedEntry>> = runs.into_iter().filter(|r| !r.is_empty()).collect();
+    if runs.len() == 1 {
+        return runs.pop().expect("one run");
+    }
+    let mut heap: BinaryHeap<std::cmp::Reverse<(MergeKey, usize)>> =
+        BinaryHeap::with_capacity(runs.len());
+    let mut cursors = vec![0usize; runs.len()];
+    for (r, run) in runs.iter().enumerate() {
+        let e = run[0];
+        heap.push(std::cmp::Reverse((
+            MergeKey {
+                value: e.value,
+                node: e.node,
+                rank: e.rank,
+            },
+            r,
+        )));
+    }
+    let mut merged = Vec::with_capacity(capacity);
+    while let Some(std::cmp::Reverse((_, r))) = heap.pop() {
+        let pos = cursors[r];
+        merged.push(runs[r][pos]);
+        cursors[r] += 1;
+        if let Some(e) = runs[r].get(cursors[r]) {
+            heap.push(std::cmp::Reverse((
+                MergeKey {
+                    value: e.value,
+                    node: e.node,
+                    rank: e.rank,
+                },
+                r,
+            )));
+        }
+    }
+    merged
+}
+
+/// Merges one shard (a contiguous group of nodes) into a sorted run.
+fn merge_shard(group: &[&NodeSample], dense_base: u32) -> Vec<MergedEntry> {
+    let capacity: usize = group.iter().map(|s| s.len()).sum();
+    let runs: Vec<Vec<MergedEntry>> = group
+        .iter()
+        .enumerate()
+        .map(|(i, sample)| {
+            let dense = dense_base + i as u32;
+            (0..sample.len())
+                .map(|pos| merged_entry(sample, dense, pos))
+                .collect()
+        })
+        .collect();
+    merge_runs(runs, capacity)
+}
+
+/// The merged prefix-rank query index: one value-sorted
+/// structure-of-arrays over every node's sample entries, answering
+/// RankCounting queries in `O(log S)` with results bit-identical to the
+/// per-node scan.
+///
+/// # Examples
+///
+/// ```
+/// use prc_core::estimator::{RangeCountEstimator, RankCounting, RankIndex};
+/// use prc_core::query::RangeQuery;
+/// use prc_net::network::FlatNetwork;
+///
+/// # fn main() -> Result<(), prc_core::CoreError> {
+/// let partitions: Vec<Vec<f64>> = (0..8)
+///     .map(|i| (0..500).map(|j| (i * 500 + j) as f64).collect())
+///     .collect();
+/// let mut network = FlatNetwork::from_partitions(partitions, 11);
+/// network.collect_samples(0.25);
+///
+/// let index = RankIndex::build(network.station()).expect("uniform station");
+/// let query = RangeQuery::new(700.0, 2_900.0)?;
+/// // Same bits as the O(k log s) per-node path, at O(log S) cost.
+/// let scanned = RankCounting.estimate(network.station(), query);
+/// assert_eq!(index.estimate(query).to_bits(), scanned.to_bits());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RankIndex {
+    /// The uniform sampling probability the index was built at.
+    probability: f64,
+    /// Merged sample values, sorted ascending (`S` entries).
+    values: Vec<f64>,
+    /// `cum_pred_rank[c] = R_pred(c)`: Σ over nodes of the rank of their
+    /// last entry among the first `c` merged entries.
+    cum_pred_rank: Vec<i64>,
+    /// `cum_first[c] = C_pred(c)`: nodes with ≥ 1 entry among the first `c`.
+    cum_first: Vec<i64>,
+    /// `suf_succ_rank[c] = R_succ(c)`: Σ over nodes of the rank of their
+    /// first entry at or after position `c`.
+    suf_succ_rank: Vec<i64>,
+    /// `suf_last[c] = C_succ(c)`: nodes with ≥ 1 entry at or after `c`.
+    suf_last: Vec<i64>,
+    /// `suf_pop[c] = N_succ(c)`: Σ `n_i` over nodes with ≥ 1 entry at or
+    /// after `c`.
+    suf_pop: Vec<i64>,
+    /// Σ `n_i` over all data-bearing nodes.
+    total_population: i64,
+}
+
+impl RankIndex {
+    /// Builds the index over the station's current samples.
+    ///
+    /// Returns `None` when the station has no uniform positive sampling
+    /// probability across its data-bearing nodes (the `1/p` factoring the
+    /// prefix-sum decomposition needs does not exist) — callers fall back
+    /// to the per-node scan.
+    ///
+    /// The build shards one sorted run per node, merges shards over
+    /// crossbeam scoped threads (one contiguous node group per worker),
+    /// k-way merges the per-worker runs, and accumulates the prefix and
+    /// suffix arrays in one sequential pass: `O(S log S)` total work.
+    pub fn build(station: &BaseStation) -> Option<RankIndex> {
+        let probability = station.uniform_probability()?;
+        let nodes: Vec<&NodeSample> = station.data_bearing_samples().collect();
+        let total_population: i64 = nodes.iter().map(|s| s.population_size as i64).sum();
+        let total_entries: usize = nodes.iter().map(|s| s.len()).sum();
+
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .clamp(1, 8)
+            .min(nodes.len().max(1));
+        let chunk = nodes.len().div_ceil(threads).max(1);
+        let runs: Vec<Vec<MergedEntry>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = nodes
+                .chunks(chunk)
+                .enumerate()
+                .map(|(g, group)| {
+                    let dense_base = (g * chunk) as u32;
+                    scope.spawn(move || merge_shard(group, dense_base))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("index shard worker panicked"))
+                .collect()
+        })
+        .expect("index build scope failed");
+        let merged = merge_runs(runs, total_entries);
+
+        let s = merged.len();
+        let mut values = Vec::with_capacity(s);
+        let mut cum_pred_rank = Vec::with_capacity(s + 1);
+        let mut cum_first = Vec::with_capacity(s + 1);
+        cum_pred_rank.push(0);
+        cum_first.push(0);
+        for e in &merged {
+            values.push(e.value);
+            cum_pred_rank.push(cum_pred_rank.last().expect("seeded") + e.pred_delta);
+            cum_first.push(cum_first.last().expect("seeded") + i64::from(e.first));
+        }
+        let mut suf_succ_rank = vec![0i64; s + 1];
+        let mut suf_last = vec![0i64; s + 1];
+        let mut suf_pop = vec![0i64; s + 1];
+        for (j, e) in merged.iter().enumerate().rev() {
+            suf_succ_rank[j] = suf_succ_rank[j + 1] + e.succ_delta;
+            suf_last[j] = suf_last[j + 1] + i64::from(e.last);
+            suf_pop[j] = suf_pop[j + 1] + e.pop;
+        }
+
+        Some(RankIndex {
+            probability,
+            values,
+            cum_pred_rank,
+            cum_first,
+            suf_succ_rank,
+            suf_last,
+            suf_pop,
+            total_population,
+        })
+    }
+
+    /// Answers one range query in `O(log S)`: two binary searches over the
+    /// merged values, five prefix/suffix lookups, one combine.
+    pub fn estimate(&self, query: RangeQuery) -> f64 {
+        let (sum_a, sum_b) = self.rank_terms(query);
+        finish_rank_terms(sum_a, sum_b, self.probability)
+    }
+
+    /// The exact integer aggregates `(ΣA, ΣB)` for one query — must match
+    /// [`scan_rank_terms`] exactly on the same station.
+    pub fn rank_terms(&self, query: RangeQuery) -> (i64, i64) {
+        let pos_l = self.values.partition_point(|&v| v < query.lower());
+        let pos_u = self.values.partition_point(|&v| v <= query.upper());
+        let sum_a = self.suf_succ_rank[pos_u] - self.cum_pred_rank[pos_l]
+            + self.cum_first[pos_l]
+            + (self.total_population - self.suf_pop[pos_u]);
+        let sum_b = self.cum_first[pos_l] + self.suf_last[pos_u];
+        (sum_a, sum_b)
+    }
+
+    /// Number of merged sample entries (`S`).
+    pub fn merged_entries(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The uniform sampling probability the index was built at.
+    pub fn probability(&self) -> f64 {
+        self.probability
+    }
+}
+
+impl QueryIndex for RankIndex {
+    fn estimate(&self, query: RangeQuery) -> f64 {
+        RankIndex::estimate(self, query)
+    }
+
+    fn merged_entries(&self) -> usize {
+        RankIndex::merged_entries(self)
+    }
+
+    fn probability(&self) -> f64 {
+        RankIndex::probability(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::{RangeCountEstimator, RankCounting};
+    use prc_net::message::{NodeId, SampleEntry, SampleMessage};
+    use prc_net::network::FlatNetwork;
+
+    fn q(l: f64, u: f64) -> RangeQuery {
+        RangeQuery::new(l, u).unwrap()
+    }
+
+    /// `(sampled (value, rank) pairs, population size, probability)`.
+    type NodeSpec<'a> = (&'a [(f64, u32)], usize, f64);
+
+    fn station(nodes: &[NodeSpec]) -> BaseStation {
+        let mut station = BaseStation::new();
+        for (i, (entries, n, p)) in nodes.iter().enumerate() {
+            station.ingest(SampleMessage {
+                node_id: NodeId(i as u32),
+                population_size: *n,
+                probability: *p,
+                entries: entries
+                    .iter()
+                    .map(|&(value, rank)| SampleEntry { value, rank })
+                    .collect(),
+            });
+        }
+        station
+    }
+
+    fn assert_identical(station: &BaseStation, queries: &[(f64, f64)]) {
+        let index = RankIndex::build(station).expect("index should build");
+        for &(l, u) in queries {
+            let indexed = index.estimate(q(l, u));
+            let scanned = RankCounting.estimate(station, q(l, u));
+            assert_eq!(
+                indexed.to_bits(),
+                scanned.to_bits(),
+                "({l}, {u}): indexed {indexed} vs scanned {scanned}"
+            );
+            let (scan_a, scan_b) = scan_rank_terms(station, q(l, u));
+            assert_eq!(index.rank_terms(q(l, u)), (scan_a, scan_b));
+        }
+    }
+
+    #[test]
+    fn matches_scan_on_handcrafted_station() {
+        let s = station(&[
+            (&[(2.0, 2), (5.0, 5), (9.0, 9)], 10, 0.5),
+            (&[(1.0, 1), (5.0, 3), (5.0, 4), (8.0, 7)], 8, 0.5),
+            (&[], 6, 0.5), // sampled nothing: always case 4
+        ]);
+        assert_identical(
+            &s,
+            &[
+                (3.0, 7.0),
+                (6.0, 20.0),
+                (-5.0, 1.0),
+                (-10.0, 30.0),
+                (5.0, 5.0),
+                (4.9, 5.1),
+                (9.0, 9.0),
+                (100.0, 200.0),
+                (-7.0, -2.0),
+            ],
+        );
+    }
+
+    #[test]
+    fn matches_scan_over_collected_networks() {
+        for (k, per_node, p, seed) in [
+            (1, 300, 0.2, 1u64),
+            (7, 100, 0.35, 2),
+            (16, 250, 0.6, 3),
+            (5, 50, 1.0, 4),
+        ] {
+            let partitions: Vec<Vec<f64>> = (0..k)
+                .map(|i| {
+                    (0..per_node)
+                        .map(|j| ((i * per_node + j) / 3) as f64) // duplicate-heavy
+                        .collect()
+                })
+                .collect();
+            let mut net = FlatNetwork::from_partitions(partitions, seed);
+            net.collect_samples(p);
+            let n = (k * per_node) as f64 / 3.0;
+            assert_identical(
+                net.station(),
+                &[
+                    (0.0, n),
+                    (n * 0.25, n * 0.75),
+                    (n * 0.5, n * 0.5),
+                    (-10.0, -1.0),
+                    (n + 5.0, n + 50.0),
+                    (0.0, 0.0),
+                ],
+            );
+        }
+    }
+
+    #[test]
+    fn p_one_index_is_exact() {
+        let values: Vec<f64> = vec![1.0, 2.0, 2.0, 3.0, 5.0, 5.0, 8.0, 9.0];
+        let mut net = FlatNetwork::from_partitions(vec![values.clone()], 1);
+        net.collect_samples(1.0);
+        let index = RankIndex::build(net.station()).unwrap();
+        for (l, u) in [(2.0, 5.0), (1.0, 9.0), (4.0, 4.5), (10.0, 20.0)] {
+            let truth = values.iter().filter(|&&v| v >= l && v <= u).count() as f64;
+            assert_eq!(index.estimate(q(l, u)), truth, "({l}, {u})");
+        }
+    }
+
+    #[test]
+    fn heterogeneous_probabilities_decline_to_build() {
+        let s = station(&[(&[(1.0, 1)], 4, 0.5), (&[(2.0, 2)], 4, 0.25)]);
+        assert!(RankIndex::build(&s).is_none());
+        // The scan path still answers (per-node fallback in the estimator).
+        assert!(RankCounting.estimate(&s, q(0.0, 3.0)).is_finite());
+    }
+
+    #[test]
+    fn empty_station_declines_to_build() {
+        assert!(RankIndex::build(&BaseStation::new()).is_none());
+        let all_empty = station(&[(&[], 0, 0.5)]);
+        assert!(RankIndex::build(&all_empty).is_none());
+    }
+
+    #[test]
+    fn zero_population_nodes_are_ignored() {
+        let s = station(&[(&[(1.0, 1), (4.0, 4)], 6, 0.5), (&[], 0, 0.9)]);
+        assert_identical(&s, &[(0.0, 5.0), (2.0, 3.0), (-2.0, 0.5)]);
+    }
+
+    #[test]
+    fn accessors_report_build_parameters() {
+        let s = station(&[(&[(1.0, 1), (4.0, 4)], 6, 0.25), (&[(2.0, 2)], 3, 0.25)]);
+        let index = RankIndex::build(&s).unwrap();
+        assert_eq!(index.merged_entries(), 3);
+        assert_eq!(RankIndex::probability(&index), 0.25);
+        let boxed: Box<dyn QueryIndex> = Box::new(index);
+        assert_eq!(boxed.merged_entries(), 3);
+        assert_eq!(boxed.probability(), 0.25);
+        assert_eq!(
+            boxed.estimate(q(1.5, 3.5)).to_bits(),
+            RankCounting.estimate(&s, q(1.5, 3.5)).to_bits()
+        );
+    }
+
+    #[test]
+    fn finish_is_exact_at_p_one() {
+        assert_eq!(finish_rank_terms(42, 6, 1.0), 36.0);
+        assert_eq!(finish_rank_terms(-3, 0, 0.25), -3.0);
+    }
+}

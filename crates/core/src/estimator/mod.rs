@@ -12,16 +12,44 @@
 //!   element's local rank. Its per-node variance is bounded by `8/p²`
 //!   **independent of the range width** (Theorem 3.1), so the global
 //!   variance is at most `8k/p²` (Theorem 3.2).
+//!
+//! Estimators may additionally offer a per-epoch [`QueryIndex`]
+//! (via [`RangeCountEstimator::build_index`]): an immutable snapshot built
+//! once after a collection round that answers subsequent queries faster
+//! than the per-node walk. [`RankIndex`] is RankCounting's index — a
+//! merged prefix-rank structure that turns `O(k log s)` per query into
+//! `O(log S)` with bit-identical results.
 
 pub mod basic;
+pub mod index;
 pub mod rank;
 
 pub use basic::BasicCounting;
+pub use index::RankIndex;
 pub use rank::RankCounting;
 
 use prc_net::base_station::{BaseStation, NodeSample};
 
 use crate::query::RangeQuery;
+
+/// An immutable per-epoch query accelerator over a station's samples.
+///
+/// An index is a snapshot: it answers queries against the sample state it
+/// was built from, so owners (the broker) must discard it whenever the
+/// station changes — after every collection round. Implementations must
+/// return results **bit-identical** to the estimator's direct
+/// [`RangeCountEstimator::estimate`] on the same station, so switching
+/// between the two paths can never change a released answer.
+pub trait QueryIndex: std::fmt::Debug + Send + Sync {
+    /// Estimates the global count `γ(l, u, D)` for one query.
+    fn estimate(&self, query: RangeQuery) -> f64;
+
+    /// Number of merged sample entries the index covers (`S`).
+    fn merged_entries(&self) -> usize;
+
+    /// The uniform sampling probability the index was built at.
+    fn probability(&self) -> f64;
+}
 
 /// A sampling-based estimator of range counts.
 ///
@@ -50,6 +78,17 @@ pub trait RangeCountEstimator {
     /// Worst-case variance bound of the *global* estimate for `k` nodes,
     /// population `n`, and sampling probability `p`.
     fn variance_bound(&self, k: usize, n: usize, p: f64) -> f64;
+
+    /// Builds a per-epoch [`QueryIndex`] over the station's current
+    /// samples, if this estimator supports one *and* the station's state
+    /// admits it (e.g. a uniform sampling probability).
+    ///
+    /// The default declines; estimators without an accelerated path run
+    /// every query through [`RangeCountEstimator::estimate`].
+    fn build_index(&self, station: &BaseStation) -> Option<Box<dyn QueryIndex>> {
+        let _ = station;
+        None
+    }
 }
 
 #[cfg(test)]

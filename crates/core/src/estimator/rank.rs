@@ -32,10 +32,22 @@
 //! not hold; the estimator remains well defined and is still
 //! approximately zero-mean, but exact unbiasedness is not guaranteed.
 //! Tests cover both regimes.
+//!
+//! **Canonical aggregation.** Every per-node estimate is of the form
+//! `Aᵢ − Bᵢ/p` with exact integers `Aᵢ, Bᵢ` (see
+//! [`crate::estimator::index`]). When the station reports one uniform
+//! sampling probability, the global [`RangeCountEstimator::estimate`]
+//! accumulates `(ΣA, ΣB)` exactly and combines once — the *same*
+//! computation the `O(log S)` [`crate::estimator::RankIndex`] performs
+//! from its prefix sums, so the scan and indexed paths release
+//! bit-identical answers. Heterogeneous stations (mixed per-node rates)
+//! fall back to summing [`RangeCountEstimator::estimate_node`] floats in
+//! node-id order, which is still deterministic.
 
-use prc_net::base_station::NodeSample;
+use prc_net::base_station::{BaseStation, NodeSample};
 
-use crate::estimator::RangeCountEstimator;
+use crate::estimator::index::{finish_rank_terms, scan_rank_terms, RankIndex};
+use crate::estimator::{QueryIndex, RangeCountEstimator};
 use crate::query::RangeQuery;
 
 /// The paper's rank-based estimator: unbiased with per-node variance at
@@ -103,11 +115,32 @@ impl RangeCountEstimator for RankCounting {
         }
     }
 
+    /// Canonical station-level estimate: exact integer aggregation over
+    /// the per-node boundary searches whenever the station has one
+    /// uniform sampling probability (bit-identical to [`RankIndex`]),
+    /// falling back to the per-node float sum otherwise.
+    fn estimate(&self, station: &BaseStation, query: RangeQuery) -> f64 {
+        match station.uniform_probability() {
+            Some(p) => {
+                let (sum_a, sum_b) = scan_rank_terms(station, query);
+                finish_rank_terms(sum_a, sum_b, p)
+            }
+            None => station
+                .node_samples()
+                .map(|s| self.estimate_node(s, query))
+                .sum(),
+        }
+    }
+
     fn variance_bound(&self, k: usize, _n: usize, p: f64) -> f64 {
         if p <= 0.0 {
             return f64::INFINITY;
         }
         8.0 * k as f64 / (p * p)
+    }
+
+    fn build_index(&self, station: &BaseStation) -> Option<Box<dyn QueryIndex>> {
+        RankIndex::build(station).map(|index| Box::new(index) as Box<dyn QueryIndex>)
     }
 }
 
@@ -319,5 +352,84 @@ mod tests {
     fn name_is_stable() {
         assert_eq!(RankCounting.name(), "RankCounting");
         assert_eq!(RankCounting::new(), RankCounting);
+    }
+
+    #[test]
+    fn canonical_aggregation_tracks_the_per_node_sum() {
+        // The uniform-probability fast path reassociates the sum through
+        // exact integers; it must agree with the naive per-node float sum
+        // to within reassociation rounding (and exactly at p = 1).
+        let partitions: Vec<Vec<f64>> = (0..6)
+            .map(|i| (0..400).map(|j| ((i * 400 + j) / 7) as f64).collect())
+            .collect();
+        for p in [0.1, 0.37, 1.0] {
+            let mut net = FlatNetwork::from_partitions(partitions.clone(), 42);
+            net.collect_samples(p);
+            for (l, u) in [(10.0, 250.0), (0.0, 400.0), (-5.0, -1.0), (90.0, 90.0)] {
+                let fast = RankCounting.estimate(net.station(), q(l, u));
+                let naive: f64 = net
+                    .station()
+                    .node_samples()
+                    .map(|s| RankCounting.estimate_node(s, q(l, u)))
+                    .sum();
+                if p == 1.0 {
+                    assert_eq!(fast, naive, "p=1 must be exact, ({l}, {u})");
+                } else {
+                    let tol = 1e-9 * (1.0 + naive.abs());
+                    assert!(
+                        (fast - naive).abs() <= tol,
+                        "p={p} ({l}, {u}): fast {fast} vs naive {naive}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn heterogeneous_stations_use_the_per_node_fallback() {
+        let mut station = BaseStation::new();
+        for (node, p) in [(0u32, 0.5), (1, 0.25)] {
+            station.ingest(SampleMessage {
+                node_id: NodeId(node),
+                population_size: 10,
+                probability: p,
+                entries: vec![
+                    SampleEntry {
+                        value: 2.0,
+                        rank: 2,
+                    },
+                    SampleEntry {
+                        value: 8.0,
+                        rank: 8,
+                    },
+                ],
+            });
+        }
+        assert_eq!(station.uniform_probability(), None);
+        let expected: f64 = station
+            .node_samples()
+            .map(|s| RankCounting.estimate_node(s, q(3.0, 7.0)))
+            .sum();
+        let actual = RankCounting.estimate(&station, q(3.0, 7.0));
+        assert_eq!(actual.to_bits(), expected.to_bits());
+    }
+
+    #[test]
+    fn build_index_round_trips_through_the_trait() {
+        let partitions: Vec<Vec<f64>> = (0..4)
+            .map(|i| (0..200).map(|j| (i * 200 + j) as f64).collect())
+            .collect();
+        let mut net = FlatNetwork::from_partitions(partitions, 5);
+        net.collect_samples(0.3);
+        let index = RankCounting.build_index(net.station()).expect("uniform");
+        let query = q(100.0, 650.0);
+        assert_eq!(
+            index.estimate(query).to_bits(),
+            RankCounting.estimate(net.station(), query).to_bits()
+        );
+        // BasicCounting has no index.
+        assert!(crate::estimator::BasicCounting
+            .build_index(net.station())
+            .is_none());
     }
 }

@@ -68,6 +68,6 @@ pub mod query;
 
 pub use broker::{DataBroker, PrivateAnswer};
 pub use error::CoreError;
-pub use estimator::{BasicCounting, RangeCountEstimator, RankCounting};
+pub use estimator::{BasicCounting, QueryIndex, RangeCountEstimator, RankCounting, RankIndex};
 pub use optimizer::{OptimizerConfig, PerturbationPlan, SensitivityPolicy};
 pub use query::{Accuracy, QueryRequest, RangeQuery};

@@ -16,7 +16,11 @@
 //!
 //! The tail constraint gives the closed form
 //! `ε(α′) = Δγ̂/((α−α′)n) · ln(δ′/(δ′−δ))`; the solver sweeps a discrete
-//! grid of `α′ ∈ (0, α)` and keeps the minimum.
+//! grid of `α′ ∈ (0, α)` and keeps the minimum. Grids of at least
+//! [`PARALLEL_GRID_MIN`] points are swept across crossbeam scoped
+//! threads; chunks are combined in ascending grid order with the same
+//! strict-`<` argmin and first-error rule as the sequential loop, so the
+//! returned plan (and error) is bit-identical either way.
 //!
 //! **Direction of the tail constraint.** The paper prints the constraint
 //! as `Pr[|Lap(ε)| ≤ (α−α′)n] ≤ δ/δ′`, but its own derivation (and the
@@ -211,6 +215,40 @@ pub fn plan_for_alpha_prime(
     }))
 }
 
+/// Grids of at least this many points are swept in parallel; smaller
+/// sweeps stay sequential because the thread-spawn overhead would exceed
+/// the per-point work.
+pub const PARALLEL_GRID_MIN: usize = 512;
+
+/// Sweeps the contiguous grid subrange `first..=last` (of a
+/// `grid_points`-point grid), returning the feasible plan with the
+/// smallest `ε′` — ties keep the lowest grid point — or the first error.
+fn sweep_grid(
+    first: usize,
+    last: usize,
+    grid_points: usize,
+    accuracy: Accuracy,
+    p: f64,
+    shape: NetworkShape,
+    config: &OptimizerConfig,
+) -> Result<Option<PerturbationPlan>, CoreError> {
+    let alpha = accuracy.alpha();
+    let mut best: Option<PerturbationPlan> = None;
+    for j in first..=last {
+        let alpha_prime = alpha * j as f64 / (grid_points + 1) as f64;
+        if let Some(plan) = plan_for_alpha_prime(alpha_prime, accuracy, p, shape, config)? {
+            let better = match &best {
+                Some(b) => plan.effective_epsilon < b.effective_epsilon,
+                None => true,
+            };
+            if better {
+                best = Some(plan);
+            }
+        }
+    }
+    Ok(best)
+}
+
 /// Solves the paper's optimization problem (3): sweeps `α′` over a grid in
 /// `(0, α)` and returns the feasible plan with the smallest effective
 /// budget `ε′`.
@@ -248,19 +286,53 @@ pub fn optimize(
     }
     let alpha = accuracy.alpha();
     let grid_points = config.grid_points.max(2);
-    let mut best: Option<PerturbationPlan> = None;
-    for j in 1..=grid_points {
-        let alpha_prime = alpha * j as f64 / (grid_points + 1) as f64;
-        if let Some(plan) = plan_for_alpha_prime(alpha_prime, accuracy, p, shape, config)? {
-            let better = match &best {
-                Some(b) => plan.effective_epsilon < b.effective_epsilon,
-                None => true,
-            };
-            if better {
-                best = Some(plan);
+    let best = if grid_points < PARALLEL_GRID_MIN {
+        sweep_grid(1, grid_points, grid_points, accuracy, p, shape, config)?
+    } else {
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .clamp(1, 8);
+        let chunk = grid_points.div_ceil(threads);
+        let partials: Vec<Result<Option<PerturbationPlan>, CoreError>> =
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|t| {
+                        let first = 1 + t * chunk;
+                        let last = ((t + 1) * chunk).min(grid_points);
+                        scope.spawn(move || {
+                            if first > last {
+                                Ok(None)
+                            } else {
+                                sweep_grid(first, last, grid_points, accuracy, p, shape, config)
+                            }
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("optimizer worker panicked"))
+                    .collect()
+            })
+            .expect("optimizer scope failed");
+        // Combine in ascending grid order: the earliest chunk's error
+        // wins (the sequential loop would have hit it first), and the
+        // strict `<` keeps the lowest-j plan on ε′ ties — so the result
+        // is bit-identical to the sequential sweep.
+        let mut best: Option<PerturbationPlan> = None;
+        for partial in partials {
+            if let Some(plan) = partial? {
+                let better = match &best {
+                    Some(b) => plan.effective_epsilon < b.effective_epsilon,
+                    None => true,
+                };
+                if better {
+                    best = Some(plan);
+                }
             }
         }
-    }
+        best
+    };
     best.ok_or_else(|| {
         // Feasibility needs δ′(α′) > δ for some α′ < α; report the p that
         // achieves δ′ = (1+δ)/2 at α′ = 0.9α, a comfortably feasible point.
@@ -484,6 +556,51 @@ mod tests {
         )
         .unwrap();
         assert!(fine.effective_epsilon.value() <= coarse.effective_epsilon.value() + 1e-9);
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_the_sequential_reference() {
+        let accuracy = acc(0.08, 0.6);
+        let p = 0.4;
+        let grid_points = 2 * PARALLEL_GRID_MIN; // forces the parallel path
+        let config = OptimizerConfig {
+            grid_points,
+            ..OptimizerConfig::default()
+        };
+        let plan = optimize(accuracy, p, shape(), &config).unwrap();
+        // Reference: the plain sequential loop over the same grid.
+        let mut best: Option<PerturbationPlan> = None;
+        for j in 1..=grid_points {
+            let alpha_prime = accuracy.alpha() * j as f64 / (grid_points + 1) as f64;
+            if let Some(candidate) =
+                plan_for_alpha_prime(alpha_prime, accuracy, p, shape(), &config).unwrap()
+            {
+                let better = best
+                    .as_ref()
+                    .is_none_or(|b| candidate.effective_epsilon < b.effective_epsilon);
+                if better {
+                    best = Some(candidate);
+                }
+            }
+        }
+        let reference = best.unwrap();
+        assert_eq!(plan.alpha_prime.to_bits(), reference.alpha_prime.to_bits());
+        assert_eq!(
+            plan.effective_epsilon.value().to_bits(),
+            reference.effective_epsilon.value().to_bits()
+        );
+        assert_eq!(plan.noise_scale.to_bits(), reference.noise_scale.to_bits());
+    }
+
+    #[test]
+    fn parallel_sweep_reports_infeasibility_like_the_sequential_one() {
+        let accuracy = acc(0.02, 0.95);
+        let parallel_cfg = OptimizerConfig {
+            grid_points: 2 * PARALLEL_GRID_MIN,
+            ..OptimizerConfig::default()
+        };
+        let err = optimize(accuracy, 0.01, shape(), &parallel_cfg).unwrap_err();
+        assert!(matches!(err, CoreError::InfeasibleAccuracy { .. }));
     }
 
     #[test]

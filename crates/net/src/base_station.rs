@@ -118,6 +118,41 @@ impl BaseStation {
         self.samples.get(&node_id)
     }
 
+    /// Per-node sample sets of the nodes that actually hold data
+    /// (`n_i > 0`), in node-id order.
+    ///
+    /// This is the zero-copy input of estimator index builds: each yielded
+    /// [`NodeSample`] exposes its entry slice via [`NodeSample::entries`],
+    /// so a merged index can be assembled without copying the station's
+    /// sample state. Nodes with `n_i = 0` are excluded because every
+    /// estimator treats them as contributing exactly zero.
+    pub fn data_bearing_samples(&self) -> impl Iterator<Item = &NodeSample> {
+        self.samples.values().filter(|s| s.population_size > 0)
+    }
+
+    /// The single sampling probability shared by every data-bearing node,
+    /// if one exists.
+    ///
+    /// Returns `Some(p)` only when at least one node with `n_i > 0` has
+    /// reported, all such nodes carry **bit-identical** probabilities, and
+    /// `p > 0`. This is the precondition under which a merged prefix-rank
+    /// index can represent the whole station with one `1/p` correction
+    /// term; heterogeneous stations (e.g. after partial failures) return
+    /// `None` and estimators fall back to the per-node path.
+    pub fn uniform_probability(&self) -> Option<f64> {
+        let mut bits: Option<u64> = None;
+        for sample in self.data_bearing_samples() {
+            let b = sample.probability.to_bits();
+            match bits {
+                None => bits = Some(b),
+                Some(prev) if prev == b => {}
+                Some(_) => return None,
+            }
+        }
+        let p = f64::from_bits(bits?);
+        (p > 0.0).then_some(p)
+    }
+
     /// Nodes whose cumulative probability is below `target` (the set that
     /// must receive a top-up request before a query needing `target` can
     /// be answered).
@@ -211,6 +246,37 @@ mod tests {
         bs.ingest(msg(5, 1, 0.1, &[]));
         let ids: Vec<u32> = bs.node_samples().map(|s| s.node_id.0).collect();
         assert_eq!(ids, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn data_bearing_samples_skip_empty_populations() {
+        let mut bs = BaseStation::new();
+        bs.ingest(msg(1, 10, 0.5, &[1]));
+        bs.ingest(msg(2, 0, 0.5, &[]));
+        bs.ingest(msg(3, 20, 0.5, &[2]));
+        let ids: Vec<u32> = bs.data_bearing_samples().map(|s| s.node_id.0).collect();
+        assert_eq!(ids, vec![1, 3]);
+    }
+
+    #[test]
+    fn uniform_probability_detects_homogeneity() {
+        let mut bs = BaseStation::new();
+        assert_eq!(bs.uniform_probability(), None, "empty station");
+        bs.ingest(msg(1, 10, 0.25, &[1]));
+        bs.ingest(msg(2, 10, 0.25, &[2]));
+        // Zero-population nodes do not break homogeneity.
+        bs.ingest(msg(3, 0, 0.9, &[]));
+        assert_eq!(bs.uniform_probability(), Some(0.25));
+        // A lagging node makes the station heterogeneous.
+        bs.ingest(msg(4, 10, 0.1, &[3]));
+        assert_eq!(bs.uniform_probability(), None);
+    }
+
+    #[test]
+    fn uniform_probability_rejects_zero() {
+        let mut bs = BaseStation::new();
+        bs.ingest(msg(1, 10, 0.0, &[]));
+        assert_eq!(bs.uniform_probability(), None);
     }
 
     #[test]

@@ -67,7 +67,9 @@ pub mod prelude {
         BatchReport, BatchStats, DataBroker, PrivateAnswer, SamplingPolicy, StageCounters,
     };
     pub use prc_core::consumer::AnswerBundle;
-    pub use prc_core::estimator::{BasicCounting, RangeCountEstimator, RankCounting};
+    pub use prc_core::estimator::{
+        BasicCounting, QueryIndex, RangeCountEstimator, RankCounting, RankIndex,
+    };
     pub use prc_core::histogram::{private_argmax_bucket, private_histogram, PrivateHistogram};
     pub use prc_core::optimizer::{
         optimize, NetworkShape, OptimizerConfig, PerturbationPlan, SensitivityPolicy,
