@@ -14,7 +14,7 @@
 //! 6. the certified variance bound is consistent with the plan.
 
 use prc_dp::amplification::amplify;
-use prc_dp::laplace::Laplace;
+use prc_dp::laplace::central_probability;
 
 use crate::accuracy::achieved_delta;
 use crate::broker::PrivateAnswer;
@@ -125,10 +125,9 @@ pub fn audit_answer(answer: &PrivateAnswer, shape: NetworkShape) -> Vec<AuditFin
         Err(e) => fail(AuditCheck::DeltaConsistency, e.to_string()),
     }
     // 4. Tail constraint and composition.
-    match Laplace::centered(plan.noise_scale) {
-        Ok(noise) => {
-            let tolerance = (alpha - plan.alpha_prime) * n;
-            let mass = noise.central_probability(tolerance);
+    let tolerance = (alpha - plan.alpha_prime) * n;
+    match central_probability(plan.noise_scale, tolerance) {
+        Ok(mass) => {
             let required = delta / plan.delta_prime;
             if mass + TOLERANCE < required {
                 fail(

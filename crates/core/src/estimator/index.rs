@@ -204,21 +204,22 @@ impl Ord for MergeKey {
 fn merge_runs(runs: Vec<Vec<MergedEntry>>, capacity: usize) -> Vec<MergedEntry> {
     let mut runs: Vec<Vec<MergedEntry>> = runs.into_iter().filter(|r| !r.is_empty()).collect();
     if runs.len() == 1 {
-        return runs.pop().expect("one run");
+        return runs.pop().unwrap_or_default();
     }
     let mut heap: BinaryHeap<std::cmp::Reverse<(MergeKey, usize)>> =
         BinaryHeap::with_capacity(runs.len());
     let mut cursors = vec![0usize; runs.len()];
     for (r, run) in runs.iter().enumerate() {
-        let e = run[0];
-        heap.push(std::cmp::Reverse((
-            MergeKey {
-                value: e.value,
-                node: e.node,
-                rank: e.rank,
-            },
-            r,
-        )));
+        if let Some(&e) = run.first() {
+            heap.push(std::cmp::Reverse((
+                MergeKey {
+                    value: e.value,
+                    node: e.node,
+                    rank: e.rank,
+                },
+                r,
+            )));
+        }
     }
     let mut merged = Vec::with_capacity(capacity);
     while let Some(std::cmp::Reverse((_, r))) = heap.pop() {
@@ -340,9 +341,11 @@ impl RankIndex {
                 .collect();
             handles
                 .into_iter()
+                // prc-lint: allow(P002, reason = "re-raises a worker panic; no sound recovery exists")
                 .map(|h| h.join().expect("index shard worker panicked"))
                 .collect()
         })
+        // prc-lint: allow(P002, reason = "re-raises a worker panic; no sound recovery exists")
         .expect("index build scope failed");
         let merged = merge_runs(runs, total_entries);
 
@@ -350,12 +353,16 @@ impl RankIndex {
         let mut values = Vec::with_capacity(s);
         let mut cum_pred_rank = Vec::with_capacity(s + 1);
         let mut cum_first = Vec::with_capacity(s + 1);
-        cum_pred_rank.push(0);
-        cum_first.push(0);
+        let mut running_pred = 0i64;
+        let mut running_first = 0i64;
+        cum_pred_rank.push(running_pred);
+        cum_first.push(running_first);
         for e in &merged {
             values.push(e.value);
-            cum_pred_rank.push(cum_pred_rank.last().expect("seeded") + e.pred_delta);
-            cum_first.push(cum_first.last().expect("seeded") + i64::from(e.first));
+            running_pred += e.pred_delta;
+            running_first += i64::from(e.first);
+            cum_pred_rank.push(running_pred);
+            cum_first.push(running_first);
         }
         let mut suf_succ_rank = vec![0i64; s + 1];
         let mut suf_last = vec![0i64; s + 1];

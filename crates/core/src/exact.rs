@@ -17,7 +17,7 @@ pub fn range_count(values: &[f64], query: RangeQuery) -> usize {
 /// Debug builds assert that `values` is sorted.
 pub fn range_count_sorted(values: &[f64], query: RangeQuery) -> usize {
     debug_assert!(
-        values.windows(2).all(|w| w[0] <= w[1]),
+        values.is_sorted(),
         "range_count_sorted requires ascending-sorted input"
     );
     let lo = values.partition_point(|&v| v < query.lower());

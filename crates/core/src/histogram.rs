@@ -18,8 +18,9 @@
 
 use prc_dp::budget::Epsilon;
 use prc_dp::exponential::ExponentialMechanism;
-use prc_dp::laplace::Laplace;
+use prc_dp::laplace::draw_centered;
 use prc_dp::mechanism::Sensitivity;
+// prc-lint: allow(B003, reason = "generic rng plumbing only; all draws happen inside prc-dp")
 use rand::Rng;
 
 use prc_net::base_station::BaseStation;
@@ -125,12 +126,9 @@ fn validate_edges(edges: &[f64]) -> Result<(), CoreError> {
             u: f64::NAN,
         });
     }
-    for pair in edges.windows(2) {
-        if pair[0].is_nan() || pair[1].is_nan() || pair[0] >= pair[1] {
-            return Err(CoreError::InvalidRange {
-                l: pair[0],
-                u: pair[1],
-            });
+    for (&l, &u) in edges.iter().zip(edges.iter().skip(1)) {
+        if l.is_nan() || u.is_nan() || l >= u {
+            return Err(CoreError::InvalidRange { l, u });
         }
     }
     Ok(())
@@ -160,7 +158,11 @@ fn bucket_estimates<E: RangeCountEstimator>(
         let query = RangeQuery::new(f64::NEG_INFINITY, upper)?;
         prefixes.push(estimator.estimate(station, query));
     }
-    Ok(prefixes.windows(2).map(|w| w[1] - w[0]).collect())
+    Ok(prefixes
+        .iter()
+        .zip(prefixes.iter().skip(1))
+        .map(|(lo, hi)| hi - lo)
+        .collect())
 }
 
 /// Builds an ε-differentially private histogram from the base station's
@@ -219,8 +221,11 @@ where
         }));
     }
     let raw = bucket_estimates(estimator, station, edges)?;
-    let noise = Laplace::centered(sensitivity.value() / epsilon.value())?;
-    let counts = raw.into_iter().map(|c| c + noise.sample(rng)).collect();
+    let scale = sensitivity.value() / epsilon.value();
+    let mut counts = Vec::with_capacity(raw.len());
+    for c in raw {
+        counts.push(c + draw_centered(scale, rng)?);
+    }
     Ok(PrivateHistogram {
         edges: edges.to_vec(),
         counts,

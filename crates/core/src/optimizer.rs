@@ -311,9 +311,11 @@ pub fn optimize(
                     .collect();
                 handles
                     .into_iter()
+                    // prc-lint: allow(P002, reason = "re-raises a worker panic; no sound recovery exists")
                     .map(|h| h.join().expect("optimizer worker panicked"))
                     .collect()
             })
+            // prc-lint: allow(P002, reason = "re-raises a worker panic; no sound recovery exists")
             .expect("optimizer scope failed");
         // Combine in ascending grid order: the earliest chunk's error
         // wins (the sequential loop would have hit it first), and the
@@ -336,10 +338,12 @@ pub fn optimize(
     best.ok_or_else(|| {
         // Feasibility needs δ′(α′) > δ for some α′ < α; report the p that
         // achieves δ′ = (1+δ)/2 at α′ = 0.9α, a comfortably feasible point.
-        let target = Accuracy::new(0.9 * alpha, (1.0 + accuracy.delta()) / 2.0)
-            .expect("midpoint accuracy is always valid");
-        let required =
-            crate::accuracy::required_probability_clamped(target, shape.k, shape.n).unwrap_or(1.0);
+        let required = Accuracy::new(0.9 * alpha, (1.0 + accuracy.delta()) / 2.0)
+            .ok()
+            .and_then(|target| {
+                crate::accuracy::required_probability_clamped(target, shape.k, shape.n).ok()
+            })
+            .unwrap_or(1.0);
         CoreError::InfeasibleAccuracy {
             available_probability: p,
             required_probability: required,

@@ -11,8 +11,9 @@
 //! `ε/s` probes.
 
 use prc_dp::budget::Epsilon;
-use prc_dp::laplace::Laplace;
+use prc_dp::laplace::draw_centered;
 use prc_dp::mechanism::Sensitivity;
+// prc-lint: allow(B003, reason = "generic rng plumbing only; all draws happen inside prc-dp")
 use rand::Rng;
 
 use prc_net::base_station::BaseStation;
@@ -115,13 +116,13 @@ where
     }
 
     let per_step = config.epsilon.value() / config.steps as f64;
-    let noise = Laplace::centered(config.sensitivity.value() / per_step)?;
+    let noise_scale = config.sensitivity.value() / per_step;
     let target = q * station.total_population() as f64;
 
     for _ in 0..config.steps {
         let mid = 0.5 * (lo + hi);
         let prefix = estimator.estimate(station, RangeQuery::new(f64::NEG_INFINITY, mid)?);
-        let noisy_prefix = prefix + noise.sample(rng);
+        let noisy_prefix = prefix + draw_centered(noise_scale, rng)?;
         if noisy_prefix < target {
             lo = mid;
         } else {

@@ -38,6 +38,13 @@ pub enum DataError {
         /// Number of fields found.
         found: usize,
     },
+    /// A civil date/time component fell outside its calendar range.
+    InvalidCivilTime {
+        /// Name of the offending component (`month`, `day`, …).
+        field: &'static str,
+        /// The offending value.
+        value: i64,
+    },
     /// The input contained no records.
     Empty,
 }
@@ -70,6 +77,9 @@ impl fmt::Display for DataError {
                 f,
                 "line {line}: expected {expected} fields but found {found}"
             ),
+            DataError::InvalidCivilTime { field, value } => {
+                write!(f, "civil time component `{field}` out of range: {value}")
+            }
             DataError::Empty => write!(f, "input contained no records"),
         }
     }

@@ -18,8 +18,8 @@
 //!
 //! The generator is deterministic for a fixed seed and configuration.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngExt, SeedableRng};
+// prc-lint: allow(B003, reason = "seeded simulation randomness for synthetic datasets; not privacy noise")
+use rand::{rngs::StdRng, Rng, RngExt, SeedableRng};
 
 use crate::record::{AirQualityIndex, Dataset, PollutionRecord};
 use crate::time::Timestamp;
@@ -299,14 +299,16 @@ impl CityPulseGenerator {
             }
 
             if !skip_this_slot {
+                let [ozone, particulate_matter, carbon_monoxide, sulfur_dioxide, nitrogen_dioxide] =
+                    values;
                 records.push(PollutionRecord {
                     timestamp,
                     sensor_id: i as u32 % self.sensor_count,
-                    ozone: values[0],
-                    particulate_matter: values[1],
-                    carbon_monoxide: values[2],
-                    sulfur_dioxide: values[3],
-                    nitrogen_dioxide: values[4],
+                    ozone,
+                    particulate_matter,
+                    carbon_monoxide,
+                    sulfur_dioxide,
+                    nitrogen_dioxide,
                 });
             }
         }

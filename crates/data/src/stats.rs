@@ -61,7 +61,7 @@ pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
         return None;
     }
     let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    sorted.sort_by(f64::total_cmp);
     let q = q.clamp(0.0, 1.0);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
@@ -162,12 +162,11 @@ pub struct EmpiricalCdf {
 impl EmpiricalCdf {
     /// Builds the CDF from a sample.
     ///
-    /// # Panics
-    ///
-    /// Panics if any value is NaN.
+    /// NaN values sort last under IEEE total ordering and so only dilute
+    /// the upper tail; callers wanting strictness should filter first.
     pub fn new(values: &[f64]) -> Self {
         let mut sorted = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in CDF input"));
+        sorted.sort_by(f64::total_cmp);
         EmpiricalCdf { sorted }
     }
 

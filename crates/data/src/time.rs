@@ -2,11 +2,17 @@
 //!
 //! The CityPulse pollution dataset stamps every record with a local civil
 //! time such as `2014-08-01 00:05:00`. This module converts between such
-//! civil times and unix seconds without pulling in a calendar dependency.
+//! civil times and unix seconds without pulling in a calendar dependency;
+//! [`Timestamp::try_from_civil`] is the fallible entry point parsing and
+//! ingestion paths must use, so malformed input surfaces as
+//! [`DataError::InvalidCivilTime`](crate::error::DataError) instead of a
+//! panic.
 //! The conversion uses the standard days-from-civil algorithm (Howard
 //! Hinnant's `chrono`-compatible formulation) and treats all times as UTC,
 //! which is sufficient for a dataset whose semantics only depend on record
 //! ordering and spacing.
+
+use crate::error::DataError;
 
 /// A point in time, stored as unix seconds (seconds since 1970-01-01 00:00:00 UTC).
 #[derive(
@@ -38,7 +44,8 @@ impl Timestamp {
     /// # Panics
     ///
     /// Panics if `month`, `day`, `hour`, `minute`, or `second` are outside
-    /// their calendar ranges.
+    /// their calendar ranges. Use [`Timestamp::try_from_civil`] on
+    /// untrusted input.
     pub fn from_civil(
         year: i32,
         month: u32,
@@ -47,18 +54,48 @@ impl Timestamp {
         minute: u32,
         second: u32,
     ) -> Self {
-        assert!((1..=12).contains(&month), "month out of range: {month}");
-        assert!(
-            day >= 1 && day <= days_in_month(year, month),
-            "day out of range: {year}-{month}-{day}"
-        );
-        assert!(hour < 24, "hour out of range: {hour}");
-        assert!(minute < 60, "minute out of range: {minute}");
-        assert!(second < 60, "second out of range: {second}");
+        match Timestamp::try_from_civil(year, month, day, hour, minute, second) {
+            Ok(t) => t,
+            // prc-lint: allow(P003, reason = "documented panicking convenience for compile-time-known dates; fallible twin is try_from_civil")
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible twin of [`Timestamp::from_civil`] for untrusted input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidCivilTime`] naming the first component
+    /// outside its calendar range.
+    pub fn try_from_civil(
+        year: i32,
+        month: u32,
+        day: u32,
+        hour: u32,
+        minute: u32,
+        second: u32,
+    ) -> Result<Self, DataError> {
+        let bad = |field: &'static str, value: u32| DataError::InvalidCivilTime {
+            field,
+            value: i64::from(value),
+        };
+        let days_in_month = days_in_month(year, month).ok_or_else(|| bad("month", month))?;
+        if day < 1 || day > days_in_month {
+            return Err(bad("day", day));
+        }
+        if hour >= 24 {
+            return Err(bad("hour", hour));
+        }
+        if minute >= 60 {
+            return Err(bad("minute", minute));
+        }
+        if second >= 60 {
+            return Err(bad("second", second));
+        }
         let days = days_from_civil(year, month, day);
-        Timestamp(
+        Ok(Timestamp(
             days * 86_400 + i64::from(hour) * 3_600 + i64::from(minute) * 60 + i64::from(second),
-        )
+        ))
     }
 
     /// Decomposes the timestamp into `(year, month, day, hour, minute, second)` in UTC.
@@ -118,18 +155,7 @@ impl Timestamp {
         if tp.next().is_some() {
             return None;
         }
-        if !(1..=12).contains(&month)
-            || day < 1
-            || day > days_in_month(year, month)
-            || hour >= 24
-            || minute >= 60
-            || second >= 60
-        {
-            return None;
-        }
-        Some(Timestamp::from_civil(
-            year, month, day, hour, minute, second,
-        ))
+        Timestamp::try_from_civil(year, month, day, hour, minute, second).ok()
     }
 }
 
@@ -145,23 +171,14 @@ pub fn is_leap_year(year: i32) -> bool {
     year % 4 == 0 && (year % 100 != 0 || year % 400 == 0)
 }
 
-/// Number of days in `month` of `year`.
-///
-/// # Panics
-///
-/// Panics if `month` is not in `1..=12`.
-pub fn days_in_month(year: i32, month: u32) -> u32 {
+/// Number of days in `month` of `year`, or `None` when `month` is not in
+/// `1..=12`.
+pub fn days_in_month(year: i32, month: u32) -> Option<u32> {
     match month {
-        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
-        4 | 6 | 9 | 11 => 30,
-        2 => {
-            if is_leap_year(year) {
-                29
-            } else {
-                28
-            }
-        }
-        _ => panic!("month out of range: {month}"),
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => Some(31),
+        4 | 6 | 9 | 11 => Some(30),
+        2 => Some(if is_leap_year(year) { 29 } else { 28 }),
+        _ => None,
     }
 }
 
@@ -226,8 +243,42 @@ mod tests {
         assert!(!is_leap_year(2014));
         assert!(is_leap_year(2000));
         assert!(!is_leap_year(1900));
-        assert_eq!(days_in_month(2012, 2), 29);
-        assert_eq!(days_in_month(2014, 2), 28);
+        assert_eq!(days_in_month(2012, 2), Some(29));
+        assert_eq!(days_in_month(2014, 2), Some(28));
+        assert_eq!(days_in_month(2014, 0), None);
+        assert_eq!(days_in_month(2014, 13), None);
+    }
+
+    #[test]
+    fn try_from_civil_names_the_bad_component() {
+        let field = |r: Result<Timestamp, DataError>| match r {
+            Err(DataError::InvalidCivilTime { field, .. }) => field,
+            other => panic!("expected InvalidCivilTime, got {other:?}"),
+        };
+        assert_eq!(
+            field(Timestamp::try_from_civil(2014, 13, 1, 0, 0, 0)),
+            "month"
+        );
+        assert_eq!(
+            field(Timestamp::try_from_civil(2014, 2, 30, 0, 0, 0)),
+            "day"
+        );
+        assert_eq!(
+            field(Timestamp::try_from_civil(2014, 8, 1, 24, 0, 0)),
+            "hour"
+        );
+        assert_eq!(
+            field(Timestamp::try_from_civil(2014, 8, 1, 0, 60, 0)),
+            "minute"
+        );
+        assert_eq!(
+            field(Timestamp::try_from_civil(2014, 8, 1, 0, 0, 60)),
+            "second"
+        );
+        assert_eq!(
+            Timestamp::try_from_civil(2014, 8, 1, 0, 5, 0).unwrap(),
+            Timestamp::from_civil(2014, 8, 1, 0, 5, 0)
+        );
     }
 
     #[test]

@@ -156,6 +156,35 @@ impl Laplace {
     }
 }
 
+/// Draws one zero-centred `Lap(scale)` noise value.
+///
+/// This is the workspace's sanctioned noise-draw entry point: callers
+/// outside `prc-dp` must route every Laplace draw through it (enforced
+/// by `prc-lint` rules B001/B002) so the draw site stays adjacent to the
+/// budget accounting that justifies it. Identical in distribution — and
+/// in the consumed RNG stream — to `Laplace::centered(scale)?.sample(rng)`.
+///
+/// # Errors
+///
+/// Returns [`DpError::InvalidScale`] unless `scale` is finite and positive.
+pub fn draw_centered<R: Rng + ?Sized>(scale: f64, rng: &mut R) -> Result<f64, DpError> {
+    Ok(Laplace::centered(scale)?.sample(rng))
+}
+
+/// `Pr[|Lap(scale)| ≤ t]` without constructing a distribution at the
+/// call site.
+///
+/// Companion to [`draw_centered`] for callers (the plan auditor) that
+/// only need the tail bound of a centred Laplace; keeps `Laplace`
+/// construction inside `prc-dp` (rule B002).
+///
+/// # Errors
+///
+/// Returns [`DpError::InvalidScale`] unless `scale` is finite and positive.
+pub fn central_probability(scale: f64, t: f64) -> Result<f64, DpError> {
+    Ok(Laplace::centered(scale)?.central_probability(t))
+}
+
 /// Minimum `ε` such that `Lap(sensitivity/ε)` satisfies
 /// `Pr[|noise| ≤ t] ≥ prob`.
 ///
@@ -353,5 +382,40 @@ mod tests {
     #[test]
     fn variance_formula() {
         assert_eq!(Laplace::centered(3.0).unwrap().variance(), 18.0);
+    }
+
+    #[test]
+    fn draw_centered_matches_construct_then_sample_bit_for_bit() {
+        // The sanctioned entry point must consume the RNG stream exactly
+        // like the two-step form, so routing call sites through it never
+        // moves released bits.
+        let mut rng_a = StdRng::seed_from_u64(7);
+        let mut rng_b = StdRng::seed_from_u64(7);
+        let d = Laplace::centered(1.75).unwrap();
+        for _ in 0..1_000 {
+            let a = draw_centered(1.75, &mut rng_a).unwrap();
+            let b = d.sample(&mut rng_b);
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn draw_centered_rejects_bad_scales() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(draw_centered(0.0, &mut rng).is_err());
+        assert!(draw_centered(-1.0, &mut rng).is_err());
+        assert!(draw_centered(f64::NAN, &mut rng).is_err());
+    }
+
+    #[test]
+    fn free_central_probability_matches_method() {
+        let d = Laplace::centered(2.0).unwrap();
+        for t in [0.0, 0.5, 4.0] {
+            assert_eq!(
+                central_probability(2.0, t).unwrap(),
+                d.central_probability(t)
+            );
+        }
+        assert!(central_probability(0.0, 1.0).is_err());
     }
 }

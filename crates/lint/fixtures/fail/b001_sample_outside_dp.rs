@@ -1,0 +1,6 @@
+// prc-lint-fixture: path = crates/core/src/noise.rs
+//! A broker-side module drawing noise directly: B001.
+
+pub fn add_noise(dist: &Dist, rng: &mut Rng) -> f64 {
+    dist.sample(rng)
+}

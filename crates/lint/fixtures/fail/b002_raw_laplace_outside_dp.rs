@@ -1,0 +1,6 @@
+// prc-lint-fixture: path = crates/core/src/noise.rs
+//! Raw distribution construction outside the substrate: B002.
+
+pub fn make(scale: f64) -> Laplace {
+    Laplace::centered(scale)
+}

@@ -1,0 +1,4 @@
+// prc-lint-fixture: path = crates/pricing/src/sim.rs
+//! An undocumented rand dependency outside prc-dp: B003.
+
+use rand::rngs::StdRng;

@@ -1,0 +1,4 @@
+// prc-lint-fixture: path = crates/core/src/broker.rs
+//! An unordered map in a deterministic answer path: D001.
+
+use std::collections::HashMap;

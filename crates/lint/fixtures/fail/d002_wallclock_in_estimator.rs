@@ -1,0 +1,6 @@
+// prc-lint-fixture: path = crates/core/src/estimator/scan.rs
+//! A wall-clock read in a deterministic answer path: D002.
+
+pub fn stamp() -> u64 {
+    elapsed_nanos(std::time::Instant::now())
+}

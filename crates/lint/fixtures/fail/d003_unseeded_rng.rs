@@ -1,0 +1,6 @@
+// prc-lint-fixture: path = crates/dp/src/noise.rs
+//! An unseeded RNG (even inside prc-dp): D003.
+
+pub fn fresh_rng() -> ThreadRng {
+    thread_rng()
+}

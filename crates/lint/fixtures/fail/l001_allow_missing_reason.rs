@@ -1,0 +1,7 @@
+// prc-lint-fixture: path = crates/net/src/link.rs
+//! An allow directive without a reason: L001.
+
+pub fn head(xs: &[u64]) -> u64 {
+    // prc-lint: allow(P001)
+    xs.first().copied().unwrap()
+}

@@ -1,0 +1,7 @@
+// prc-lint-fixture: path = crates/net/src/link.rs
+//! An allow directive that suppresses nothing: L002.
+
+// prc-lint: allow(P002, reason = "stale: the expect below was removed long ago")
+pub fn fine() -> u64 {
+    7
+}

@@ -1,0 +1,6 @@
+// prc-lint-fixture: path = crates/net/src/link.rs
+//! An unwrap in library code: P001.
+
+pub fn head(xs: &[u64]) -> u64 {
+    xs.first().copied().unwrap()
+}

@@ -1,0 +1,6 @@
+// prc-lint-fixture: path = crates/net/src/link.rs
+//! An expect in library code: P002.
+
+pub fn parse(s: &str) -> u64 {
+    s.parse().expect("not a number")
+}

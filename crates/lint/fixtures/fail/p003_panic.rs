@@ -1,0 +1,10 @@
+// prc-lint-fixture: path = crates/net/src/link.rs
+//! A panic in library code: P003.
+
+pub fn checked(n: usize) -> usize {
+    if n > 10 {
+        panic!("too big")
+    } else {
+        n
+    }
+}

@@ -1,0 +1,6 @@
+// prc-lint-fixture: path = crates/net/src/link.rs
+//! Indexing by integer literal in library code: P004.
+
+pub fn first(xs: &[u64]) -> u64 {
+    xs[0]
+}

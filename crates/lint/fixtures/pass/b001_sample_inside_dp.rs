@@ -1,0 +1,6 @@
+// prc-lint-fixture: path = crates/dp/src/laplace.rs
+//! Sampling is sanctioned inside the privacy substrate.
+
+pub fn draw_centered(scale: f64, rng: &mut Rng) -> f64 {
+    Laplace::centered(scale).sample(rng)
+}

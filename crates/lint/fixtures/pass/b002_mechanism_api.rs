@@ -1,0 +1,6 @@
+// prc-lint-fixture: path = crates/core/src/selection.rs
+//! Mechanism types are the sanctioned prc-dp interface.
+
+pub fn pick(eps: Epsilon, scores: &[f64], rng: &mut Rng) -> usize {
+    ExponentialMechanism::new(eps, 1.0).select(scores, rng)
+}

@@ -1,0 +1,5 @@
+// prc-lint-fixture: path = crates/data/src/generator.rs
+//! Simulation randomness carries a reasoned allow.
+
+// prc-lint: allow(B003, reason = "synthetic-dataset randomness, not privacy noise")
+use rand::rngs::StdRng;

@@ -1,0 +1,8 @@
+// prc-lint-fixture: path = crates/core/src/broker.rs
+//! Ordered maps keep deterministic paths reproducible.
+
+use std::collections::BTreeMap;
+
+pub fn ledger() -> BTreeMap<u64, f64> {
+    BTreeMap::new()
+}

@@ -1,0 +1,7 @@
+// prc-lint-fixture: path = crates/bench/src/bin/bench_batch.rs
+//! Wall-clock timing is fine in the benchmark harness.
+
+pub fn timed() -> std::time::Duration {
+    let start = std::time::Instant::now();
+    start.elapsed()
+}

@@ -1,0 +1,9 @@
+// prc-lint-fixture: path = crates/net/src/node.rs
+//! Seeded RNGs keep simulations reproducible.
+
+// prc-lint: allow(B003, reason = "seeded simulation randomness, not privacy noise")
+use rand::{rngs::StdRng, SeedableRng};
+
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}

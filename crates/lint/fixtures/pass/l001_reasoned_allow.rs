@@ -1,0 +1,7 @@
+// prc-lint-fixture: path = crates/net/src/pool.rs
+//! A reasoned allow documents the one sound panic.
+
+pub fn join(handle: Handle) -> u64 {
+    // prc-lint: allow(P002, reason = "re-raises a worker panic; no sound recovery exists")
+    handle.join().expect("worker panicked")
+}

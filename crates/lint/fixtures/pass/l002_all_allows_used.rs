@@ -1,0 +1,6 @@
+// prc-lint-fixture: path = crates/net/src/pool.rs
+//! No allow directives, nothing stale to flag.
+
+pub fn add(a: u64, b: u64) -> u64 {
+    a.saturating_add(b)
+}

@@ -1,0 +1,6 @@
+// prc-lint-fixture: path = crates/net/src/link.rs
+//! Library code surfaces the absence instead of unwrapping.
+
+pub fn head(xs: &[u64]) -> Option<u64> {
+    xs.first().copied()
+}

@@ -1,0 +1,14 @@
+// prc-lint-fixture: path = crates/net/src/link.rs
+//! Expect is fine inside #[cfg(test)] regions.
+
+pub fn double(n: u64) -> u64 {
+    n * 2
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn doubles() {
+        assert_eq!(super::double(2), "4".parse::<u64>().expect("parses"));
+    }
+}

@@ -1,0 +1,10 @@
+// prc-lint-fixture: path = crates/net/src/link.rs
+//! Library code returns typed errors instead of panicking.
+
+pub fn checked(n: usize) -> Result<usize, LinkError> {
+    if n > 10 {
+        Err(LinkError::TooBig { n })
+    } else {
+        Ok(n)
+    }
+}

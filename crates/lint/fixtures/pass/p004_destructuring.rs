@@ -1,0 +1,9 @@
+// prc-lint-fixture: path = crates/net/src/link.rs
+//! Destructuring makes the short-input case explicit.
+
+pub fn bounds(pair: &[f64]) -> Option<(f64, f64)> {
+    match pair {
+        [lo, hi] => Some((*lo, *hi)),
+        _ => None,
+    }
+}

@@ -1,0 +1,251 @@
+//! `prc-lint`: a dependency-free static invariant checker for the prc
+//! workspace.
+//!
+//! The workspace carries three families of invariants that the type
+//! system cannot express and that `cargo test` only catches by accident:
+//!
+//! - **Budget hygiene (B)** — every bit of privacy noise is drawn inside
+//!   `prc-dp`, where the budget accountant can see it. Sampling call
+//!   sites, raw distribution construction, and `rand` dependencies
+//!   outside the substrate are findings.
+//! - **Determinism hygiene (D)** — the broker, estimators, optimizer,
+//!   and base station release answers that must be bit-reproducible from
+//!   (inputs, seed). Unordered-map iteration, wall-clock reads, and
+//!   unseeded RNGs in those paths are findings.
+//! - **Panic hygiene (P)** — library crates return typed errors;
+//!   `.unwrap()`, `.expect(`, panicking macros, and indexing by integer
+//!   literal are findings.
+//!
+//! The checker is textual — a comment/string-aware scanner plus
+//! path-scoped token rules — because the vendor tree is offline and a
+//! full parser dependency (`syn`) is unavailable. The trade-off is
+//! documented per rule in [`rules`]; escape hatches are spelled
+//! `// prc-lint: allow(RULE, reason = "…")` and are themselves linted
+//! (missing reason → L001, suppressing nothing → L002).
+
+pub mod rules;
+pub mod scanner;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use rules::{lint_source, Finding, FIXTURE_PATH_HEADER, RULE_IDS};
+
+/// Directory names never descended into when walking a tree.
+const SKIP_DIRS: [&str; 5] = ["target", "vendor", ".git", "fixtures", "node_modules"];
+
+/// Lints every `.rs` file under `root`, returning findings sorted by
+/// (path, line, rule).
+///
+/// # Errors
+///
+/// Propagates I/O errors from walking or reading the tree.
+pub fn lint_tree(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files)?;
+    files.sort();
+    let mut findings = Vec::new();
+    for file in files {
+        let source = fs::read_to_string(&file)?;
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        findings.extend(lint_source(&rel, &source));
+    }
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(findings)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Renders findings as human-readable text, one per line.
+pub fn render_text(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&format!(
+            "{}: {}:{}: {}\n    {}\n",
+            f.rule, f.path, f.line, f.message, f.snippet
+        ));
+    }
+    out.push_str(&format!(
+        "{} finding{}\n",
+        findings.len(),
+        if findings.len() == 1 { "" } else { "s" }
+    ));
+    out
+}
+
+/// Renders findings as a machine-readable JSON document.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\", \"snippet\": \"{}\"}}",
+            json_escape(f.rule),
+            json_escape(&f.path),
+            f.line,
+            json_escape(&f.message),
+            json_escape(&f.snippet)
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!("],\n  \"count\": {}\n}}\n", findings.len()));
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One fixture's outcome in a self-test run.
+#[derive(Debug)]
+pub struct FixtureResult {
+    /// Fixture file name.
+    pub name: String,
+    /// What went wrong; `None` when the fixture behaved as expected.
+    pub problem: Option<String>,
+}
+
+/// Runs the linter over its fixture corpus:
+///
+/// - every file under `fixtures/pass/` must produce **zero** findings;
+/// - every file under `fixtures/fail/` must produce **at least one**
+///   finding, and every finding's rule must match the rule id encoded
+///   in the file-name prefix (`b001_…` → `B001`).
+///
+/// # Errors
+///
+/// Returns `Err` on I/O failures or a malformed corpus layout.
+pub fn self_test(fixtures: &Path) -> io::Result<Vec<FixtureResult>> {
+    let mut results = Vec::new();
+    for (sub, expect_clean) in [("pass", true), ("fail", false)] {
+        let dir = fixtures.join(sub);
+        let mut entries: Vec<PathBuf> = fs::read_dir(&dir)?
+            .collect::<io::Result<Vec<_>>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+            .collect();
+        entries.sort();
+        if entries.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no fixtures under {}", dir.display()),
+            ));
+        }
+        for path in entries {
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            let source = fs::read_to_string(&path)?;
+            let findings = lint_source(&name, &source);
+            let problem = if expect_clean {
+                if findings.is_empty() {
+                    None
+                } else {
+                    Some(format!(
+                        "expected a clean pass but got {:?}",
+                        findings.iter().map(|f| f.rule).collect::<Vec<_>>()
+                    ))
+                }
+            } else {
+                check_fail_fixture(&name, &findings)
+            };
+            results.push(FixtureResult { name, problem });
+        }
+    }
+    Ok(results)
+}
+
+fn check_fail_fixture(name: &str, findings: &[Finding]) -> Option<String> {
+    let expected = name
+        .split('_')
+        .next()
+        .map(str::to_uppercase)
+        .unwrap_or_default();
+    if !RULE_IDS.contains(&expected.as_str()) {
+        return Some(format!(
+            "fail fixture name `{name}` does not start with a rule id prefix"
+        ));
+    }
+    if findings.is_empty() {
+        return Some(format!(
+            "expected at least one {expected} finding, got none"
+        ));
+    }
+    let stray: Vec<&str> = findings
+        .iter()
+        .map(|f| f.rule)
+        .filter(|r| *r != expected)
+        .collect();
+    if stray.is_empty() {
+        None
+    } else {
+        Some(format!(
+            "expected only {expected} findings, also got {stray:?}"
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping_is_sound() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        let f = vec![Finding {
+            rule: "P001",
+            path: "crates/x/src/y.rs".to_owned(),
+            line: 3,
+            snippet: "x.unwrap()".to_owned(),
+            message: "no \"unwrap\"".to_owned(),
+        }];
+        let json = render_json(&f);
+        assert!(json.contains("\"count\": 1"));
+        assert!(json.contains("\\\"unwrap\\\""));
+    }
+
+    #[test]
+    fn empty_report_renders() {
+        assert!(render_json(&[]).contains("\"count\": 0"));
+        assert!(render_text(&[]).contains("0 findings"));
+    }
+}

@@ -1,0 +1,131 @@
+//! Command-line entry point for `prc-lint`.
+//!
+//! ```text
+//! prc-lint [--root DIR] [--format text|json]   lint a source tree
+//! prc-lint --self-test [--fixtures DIR]        verify the fixture corpus
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings (or failed self-test), `2` usage
+//! or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use prc_lint::{lint_tree, render_json, render_text, self_test};
+
+struct Options {
+    root: PathBuf,
+    fixtures: Option<PathBuf>,
+    json: bool,
+    self_test: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        root: PathBuf::from("."),
+        fixtures: None,
+        json: false,
+        self_test: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                options.root = PathBuf::from(
+                    args.next()
+                        .ok_or_else(|| "--root needs a value".to_owned())?,
+                );
+            }
+            "--fixtures" => {
+                options.fixtures = Some(PathBuf::from(
+                    args.next()
+                        .ok_or_else(|| "--fixtures needs a value".to_owned())?,
+                ));
+            }
+            "--format" => {
+                match args
+                    .next()
+                    .ok_or_else(|| "--format needs a value".to_owned())?
+                    .as_str()
+                {
+                    "json" => options.json = true,
+                    "text" => options.json = false,
+                    other => return Err(format!("unknown format `{other}`")),
+                }
+            }
+            "--self-test" => options.self_test = true,
+            "--help" | "-h" => return Err(
+                "usage: prc-lint [--root DIR] [--format text|json] [--self-test [--fixtures DIR]]"
+                    .to_owned(),
+            ),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(options)
+}
+
+fn default_fixtures(root: &std::path::Path) -> PathBuf {
+    let in_tree = root.join("crates/lint/fixtures");
+    if in_tree.is_dir() {
+        in_tree
+    } else {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+    }
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if options.self_test {
+        let fixtures = options
+            .fixtures
+            .unwrap_or_else(|| default_fixtures(&options.root));
+        let results = match self_test(&fixtures) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("self-test failed to run: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let mut failed = 0usize;
+        for r in &results {
+            match &r.problem {
+                None => println!("ok   {}", r.name),
+                Some(p) => {
+                    failed += 1;
+                    println!("FAIL {}: {}", r.name, p);
+                }
+            }
+        }
+        println!("{} fixtures, {} failed", results.len(), failed);
+        return if failed == 0 {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(1)
+        };
+    }
+
+    let findings = match lint_tree(&options.root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("failed to lint {}: {e}", options.root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if options.json {
+        print!("{}", render_json(&findings));
+    } else {
+        print!("{}", render_text(&findings));
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

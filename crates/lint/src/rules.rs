@@ -1,0 +1,498 @@
+//! The invariant catalog: rule definitions, path scoping, allow
+//! directives, and the per-file checking pass.
+//!
+//! # Rule catalog
+//!
+//! | id | invariant |
+//! |---|---|
+//! | B001 | `.sample(` call sites only inside `prc-dp` or test code |
+//! | B002 | raw `Laplace::` / `Geometric::` distribution construction only inside `prc-dp` or test code |
+//! | B003 | `rand::` dependency outside `prc-dp` needs a reasoned allow |
+//! | D001 | no `HashMap` / `HashSet` in deterministic answer paths |
+//! | D002 | no `Instant::now` / `SystemTime` in deterministic answer paths |
+//! | D003 | no `thread_rng` / `from_entropy` / `rand::random` in production code |
+//! | P001 | no `.unwrap()` in library code |
+//! | P002 | no `.expect(` in library code |
+//! | P003 | no `panic!` / `unreachable!` / `todo!` / `unimplemented!` in library code |
+//! | P004 | no indexing by integer literal (`xs[0]`) in library code |
+//! | L001 | every allow directive needs a non-empty `reason` |
+//! | L002 | allow directives must suppress something |
+//!
+//! # Allow directives
+//!
+//! `// prc-lint: allow(RULE, reason = "…")` suppresses matching findings
+//! on its own line and the line immediately below. The reason is
+//! mandatory (L001) and the directive must actually suppress a finding
+//! (L002), so stale escapes can't accumulate.
+
+use crate::scanner::{scan, ScannedFile};
+
+/// One diagnostic emitted by the linter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable rule identifier, e.g. `P001`.
+    pub rule: &'static str,
+    /// Workspace-relative path (or the fixture's declared virtual path).
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+    /// Human-readable description of the violated invariant.
+    pub message: String,
+}
+
+/// Every rule identifier the checker can emit, in catalog order.
+pub const RULE_IDS: [&str; 12] = [
+    "B001", "B002", "B003", "D001", "D002", "D003", "P001", "P002", "P003", "P004", "L001", "L002",
+];
+
+/// The header a fixture uses to claim a virtual workspace path.
+pub const FIXTURE_PATH_HEADER: &str = "// prc-lint-fixture: path =";
+
+#[derive(Debug)]
+struct Allow {
+    line: usize,
+    rule: String,
+    has_reason: bool,
+    used: bool,
+    in_test: bool,
+}
+
+/// Path classification, all over `/`-normalized workspace-relative paths.
+mod scope {
+    /// Test scope: fixtures, integration tests, benches, examples, and
+    /// the whole benchmark crate are exempt from every production rule.
+    pub fn is_test_path(path: &str) -> bool {
+        path.starts_with("crates/bench/")
+            || path
+                .split('/')
+                .any(|c| c == "tests" || c == "benches" || c == "examples" || c == "fixtures")
+    }
+
+    /// The privacy substrate, where sampling primitives are sanctioned.
+    pub fn is_dp_crate(path: &str) -> bool {
+        path.starts_with("crates/dp/")
+    }
+
+    /// Deterministic answer paths: code whose emitted bytes must be a
+    /// pure function of (inputs, seed). See DESIGN.md §10.
+    pub fn is_deterministic_path(path: &str) -> bool {
+        path == "crates/core/src/broker.rs"
+            || path == "crates/core/src/optimizer.rs"
+            || path.starts_with("crates/core/src/estimator/")
+            || path == "crates/net/src/base_station.rs"
+    }
+
+    /// Library code subject to panic-hygiene rules: crate `src/` trees,
+    /// excluding binary targets (a CLI may die loudly).
+    pub fn is_library_path(path: &str) -> bool {
+        if is_test_path(path) {
+            return false;
+        }
+        let in_src = path.starts_with("src/") || path.contains("/src/");
+        in_src && !path.contains("/bin/") && !path.ends_with("main.rs")
+    }
+}
+
+/// Lints one file's source under its workspace-relative `path`.
+///
+/// When the first line carries a [`FIXTURE_PATH_HEADER`], the declared
+/// virtual path replaces `path` for scoping decisions, so the fixture
+/// corpus can exercise path-dependent rules from anywhere on disk.
+pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
+    let path = virtual_path(source).unwrap_or_else(|| path.replace('\\', "/"));
+    let scanned = scan(source);
+    let mut allows = collect_allows(&scanned);
+    let mut findings = Vec::new();
+
+    for (idx, code) in scanned.code.iter().enumerate() {
+        if scanned.in_test[idx] {
+            continue;
+        }
+        for (rule, message) in line_violations(&path, code) {
+            let line = idx + 1;
+            if suppress(&mut allows, line, rule) {
+                continue;
+            }
+            findings.push(Finding {
+                rule,
+                path: path.clone(),
+                line,
+                snippet: snippet_at(&scanned, idx),
+                message,
+            });
+        }
+    }
+
+    for allow in &allows {
+        if allow.in_test {
+            continue;
+        }
+        if !allow.has_reason {
+            findings.push(Finding {
+                rule: "L001",
+                path: path.clone(),
+                line: allow.line,
+                snippet: snippet_at(&scanned, allow.line - 1),
+                message: format!(
+                    "allow({}) must carry a non-empty reason: \
+                     `prc-lint: allow({}, reason = \"…\")`",
+                    allow.rule, allow.rule
+                ),
+            });
+        }
+        if !allow.used {
+            findings.push(Finding {
+                rule: "L002",
+                path: path.clone(),
+                line: allow.line,
+                snippet: snippet_at(&scanned, allow.line - 1),
+                message: format!(
+                    "allow({}) suppresses nothing on this line or the next — remove it",
+                    allow.rule
+                ),
+            });
+        }
+    }
+
+    findings.sort_by(|a, b| (a.line, a.rule, &a.path).cmp(&(b.line, b.rule, &b.path)));
+    findings
+}
+
+/// Reads a fixture's declared virtual path, if any.
+pub fn virtual_path(source: &str) -> Option<String> {
+    let first = source.lines().next()?;
+    let rest = first.trim().strip_prefix(FIXTURE_PATH_HEADER)?;
+    let p = rest.trim();
+    if p.is_empty() {
+        None
+    } else {
+        Some(p.replace('\\', "/"))
+    }
+}
+
+/// All (rule, message) violations present on one blanked code line.
+fn line_violations(path: &str, code: &str) -> Vec<(&'static str, String)> {
+    let mut out = Vec::new();
+    if scope::is_test_path(path) {
+        return out;
+    }
+    let dp = scope::is_dp_crate(path);
+    let det = scope::is_deterministic_path(path);
+    let lib = scope::is_library_path(path);
+
+    if !dp {
+        if code.contains(".sample(") {
+            out.push((
+                "B001",
+                "noise may only be sampled inside prc-dp; route draws through \
+                 prc_dp::laplace::draw_centered or a mechanism type"
+                    .to_owned(),
+            ));
+        }
+        for ctor in ["Laplace::", "Geometric::"] {
+            if contains_token(code, ctor) {
+                out.push((
+                    "B002",
+                    format!(
+                        "raw `{ctor}` distribution construction belongs inside prc-dp; \
+                         use the mechanism API or prc_dp::laplace free functions"
+                    ),
+                ));
+            }
+        }
+        if contains_token(code, "rand::") || code.trim_start().starts_with("use rand;") {
+            out.push((
+                "B003",
+                "a `rand` dependency outside prc-dp needs a reasoned allow \
+                 documenting that it is simulation randomness, not privacy noise"
+                    .to_owned(),
+            ));
+        }
+    }
+    if det {
+        for token in ["HashMap", "HashSet"] {
+            if contains_token(code, token) {
+                out.push((
+                    "D001",
+                    format!(
+                        "`{token}` iteration order is nondeterministic; deterministic \
+                         answer paths must use BTreeMap/BTreeSet or sort before iterating"
+                    ),
+                ));
+            }
+        }
+        for token in ["Instant::now", "SystemTime"] {
+            if contains_token(code, token) {
+                out.push((
+                    "D002",
+                    format!(
+                        "`{token}` makes answers depend on wall-clock time; deterministic \
+                         answer paths must be pure functions of (inputs, seed)"
+                    ),
+                ));
+            }
+        }
+    }
+    for token in ["thread_rng", "from_entropy", "rand::random"] {
+        if contains_token(code, token) {
+            out.push((
+                "D003",
+                format!("`{token}` is unseeded; production code must thread a seeded RNG"),
+            ));
+        }
+    }
+    if lib {
+        if code.contains(".unwrap()") {
+            out.push((
+                "P001",
+                "library code must not `.unwrap()`; return the error or restructure \
+                 so the failure case is unrepresentable"
+                    .to_owned(),
+            ));
+        }
+        if code.contains(".expect(") {
+            out.push((
+                "P002",
+                "library code must not `.expect(`; return a typed error (or carry a \
+                 reasoned allow for a re-raised worker panic)"
+                    .to_owned(),
+            ));
+        }
+        for mac in ["panic!", "unreachable!", "todo!", "unimplemented!"] {
+            if contains_token(code, mac) {
+                out.push((
+                    "P003",
+                    format!("library code must not `{mac}`; return a typed error instead"),
+                ));
+            }
+        }
+        if has_literal_index(code) {
+            out.push((
+                "P004",
+                "indexing by integer literal panics on short input; use `.first()`, \
+                 `.get(n)`, destructuring, or iterators"
+                    .to_owned(),
+            ));
+        }
+    }
+    out
+}
+
+/// Substring match with an identifier boundary on the left.
+fn contains_token(code: &str, token: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(token) {
+        let abs = start + pos;
+        let boundary = abs == 0
+            || code[..abs]
+                .chars()
+                .next_back()
+                .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+        if boundary {
+            return true;
+        }
+        start = abs + token.len();
+    }
+    false
+}
+
+/// Detects `ident[123]` — indexing an identifier by an integer literal.
+fn has_literal_index(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'[' && i > 0 {
+            let prev = bytes[i - 1] as char;
+            if prev.is_alphanumeric() || prev == '_' {
+                let mut j = i + 1;
+                let mut digits = 0;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    digits += 1;
+                    j += 1;
+                }
+                if digits > 0 && j < bytes.len() && bytes[j] == b']' {
+                    return true;
+                }
+            }
+        }
+        i += 1;
+    }
+    false
+}
+
+fn collect_allows(scanned: &ScannedFile) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for (idx, comment) in scanned.comments.iter().enumerate() {
+        // Only a comment that IS the directive counts; prose that merely
+        // mentions the syntax (docs, this file) is not an allow.
+        let Some(body) = comment.trim().strip_prefix("prc-lint: allow(") else {
+            continue;
+        };
+        let Some(close) = body.find(')') else {
+            continue;
+        };
+        let inner = &body[..close];
+        let (rule, rest) = match inner.split_once(',') {
+            Some((r, rest)) => (r.trim(), rest.trim()),
+            None => (inner.trim(), ""),
+        };
+        let has_reason = rest
+            .strip_prefix("reason")
+            .map(|r| r.trim_start())
+            .and_then(|r| r.strip_prefix('='))
+            .map(|r| r.trim().trim_matches('"').trim())
+            .is_some_and(|r| !r.is_empty());
+        allows.push(Allow {
+            line: idx + 1,
+            rule: rule.to_owned(),
+            has_reason,
+            used: false,
+            in_test: scanned.in_test[idx],
+        });
+    }
+    allows
+}
+
+/// Marks and reports whether an allow covers (`line`, `rule`).
+fn suppress(allows: &mut [Allow], line: usize, rule: &str) -> bool {
+    let mut hit = false;
+    for allow in allows.iter_mut() {
+        if allow.rule == rule && (allow.line == line || allow.line + 1 == line) {
+            allow.used = true;
+            hit = true;
+        }
+    }
+    hit
+}
+
+fn snippet_at(scanned: &ScannedFile, idx: usize) -> String {
+    let raw = scanned.raw.get(idx).map(String::as_str).unwrap_or("");
+    let trimmed = raw.trim();
+    if trimmed.chars().count() > 120 {
+        let cut: String = trimmed.chars().take(117).collect();
+        format!("{cut}...")
+    } else {
+        trimmed.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn sample_outside_dp_is_b001() {
+        let f = lint_source(
+            "crates/core/src/x.rs",
+            "fn f() { let v = d.sample(rng); }\n",
+        );
+        assert_eq!(rules_of(&f), vec!["B001"]);
+        let f = lint_source("crates/dp/src/x.rs", "fn f() { let v = d.sample(rng); }\n");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn mechanism_types_do_not_trip_b002() {
+        let src = "fn f() { let m = LaplaceMechanism::new(eps, sens); }\n";
+        assert!(lint_source("crates/core/src/x.rs", src).is_empty());
+        let src = "fn f() { let d = Laplace::centered(s); }\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/core/src/x.rs", src)),
+            vec!["B002"]
+        );
+    }
+
+    #[test]
+    fn hashmap_only_flagged_on_deterministic_paths() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/core/src/broker.rs", src)),
+            vec!["D001"]
+        );
+        assert!(lint_source("crates/pricing/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_rules_skip_bins_and_tests() {
+        let src = "fn f() { x.unwrap(); }\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/net/src/x.rs", src)),
+            vec!["P001"]
+        );
+        assert!(lint_source("crates/net/src/bin/tool.rs", src).is_empty());
+        assert!(lint_source("crates/net/tests/x.rs", src).is_empty());
+        assert!(lint_source("crates/bench/src/x.rs", src).is_empty());
+        let in_test = "#[cfg(test)]\nmod tests {\n fn f() { x.unwrap(); }\n}\n";
+        assert!(lint_source("crates/net/src/x.rs", in_test).is_empty());
+    }
+
+    #[test]
+    fn literal_index_detection() {
+        assert!(has_literal_index("let a = xs[0];"));
+        assert!(has_literal_index("pair[17] + 1"));
+        assert!(!has_literal_index("let a = xs[i];"));
+        assert!(!has_literal_index("let a = [0u8; 4];"));
+        assert!(!has_literal_index("xs[i + 1]"));
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses_and_is_used() {
+        let src = "// prc-lint: allow(P001, reason = \"checked above\")\nfn f() { x.unwrap(); }\n";
+        assert!(lint_source("crates/net/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_l001() {
+        let src = "// prc-lint: allow(P001)\nfn f() { x.unwrap(); }\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/net/src/x.rs", src)),
+            vec!["L001"]
+        );
+    }
+
+    #[test]
+    fn unused_allow_is_l002() {
+        let src = "// prc-lint: allow(P001, reason = \"stale\")\nfn f() {}\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/net/src/x.rs", src)),
+            vec!["L002"]
+        );
+    }
+
+    #[test]
+    fn virtual_path_header_rescopes_the_file() {
+        let src = "// prc-lint-fixture: path = crates/core/src/broker.rs\nuse std::collections::HashMap;\n";
+        let f = lint_source("crates/lint/fixtures/fail/d001.rs", src);
+        assert_eq!(rules_of(&f), vec!["D001"]);
+        assert_eq!(f[0].path, "crates/core/src/broker.rs");
+    }
+
+    #[test]
+    fn string_contents_never_trip_rules() {
+        let src = "fn f() { let m = \"please .unwrap() and panic! now\"; }\n";
+        assert!(lint_source("crates/net/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unseeded_rng_is_d003_even_inside_dp() {
+        let src = "fn f() { let mut rng = thread_rng(); }\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/dp/src/x.rs", src)),
+            vec!["D003"]
+        );
+    }
+
+    #[test]
+    fn findings_are_sorted_by_line() {
+        let src = "fn g() { y.expect(\"m\"); }\nfn f() { x.unwrap(); }\n";
+        let f = lint_source("crates/net/src/x.rs", src);
+        assert_eq!(rules_of(&f), vec!["P002", "P001"]);
+        assert!(f[0].line < f[1].line);
+    }
+}

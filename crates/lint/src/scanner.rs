@@ -1,0 +1,399 @@
+//! A comment/string-aware line scanner for Rust source.
+//!
+//! The linter's rules are textual, so the scanner's job is to make the
+//! text trustworthy: it blanks out everything that is not code (line
+//! comments, nested block comments, string / raw-string / char-literal
+//! contents) while preserving the byte layout of each line, captures the
+//! comment text separately (allow directives live there), and marks the
+//! lines covered by `#[cfg(test)]` item regions so test-only code can be
+//! exempted from production-only rules.
+
+/// The scanner's per-file output.
+#[derive(Debug)]
+pub struct ScannedFile {
+    /// Original source lines, verbatim (for diagnostics).
+    pub raw: Vec<String>,
+    /// Source lines with comments and literal contents blanked to spaces.
+    pub code: Vec<String>,
+    /// Comment text found on each line (without the `//` / `/*` markers).
+    pub comments: Vec<String>,
+    /// Whether each line falls inside a `#[cfg(test)]` item region.
+    pub in_test: Vec<bool>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Scans one file's source text.
+pub fn scan(source: &str) -> ScannedFile {
+    let chars: Vec<char> = source.chars().collect();
+    let mut raw_lines = Vec::new();
+    let mut code_lines = Vec::new();
+    let mut comment_lines = Vec::new();
+
+    let mut raw = String::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut state = State::Code;
+    let mut i = 0usize;
+
+    macro_rules! flush_line {
+        () => {
+            raw_lines.push(std::mem::take(&mut raw));
+            code_lines.push(std::mem::take(&mut code));
+            comment_lines.push(std::mem::take(&mut comment));
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        raw.push(c);
+        if c == '\n' {
+            // A newline ends line comments; other states carry over.
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            raw.pop();
+            flush_line!();
+            i += 1;
+            continue;
+        }
+        let next = chars.get(i + 1).copied();
+        match state {
+            State::Code => {
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    code.push(' ');
+                    code.push(' ');
+                    raw.push('/');
+                    i += 2;
+                    // Skip doc-comment markers so `///` text reads cleanly.
+                    if chars.get(i) == Some(&'/') || chars.get(i) == Some(&'!') {
+                        raw.push(chars[i]);
+                        code.push(' ');
+                        i += 1;
+                    }
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    code.push(' ');
+                    code.push(' ');
+                    raw.push('*');
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    state = State::Str;
+                    code.push('"');
+                    i += 1;
+                    continue;
+                }
+                // Raw strings: r"…", r#"…"#, br#"…"# etc.
+                if (c == 'r' || c == 'b') && !prev_is_ident(&chars, i) {
+                    if let Some(hashes) = raw_string_open(&chars, i) {
+                        // Emit the prefix chars as-is up to the opening quote.
+                        let mut j = i;
+                        while chars.get(j) != Some(&'"') {
+                            if j > i {
+                                raw.push(chars[j]);
+                            }
+                            code.push(chars[j]);
+                            j += 1;
+                        }
+                        raw.push('"');
+                        code.push('"');
+                        state = State::RawStr(hashes);
+                        i = j + 1;
+                        continue;
+                    }
+                }
+                if c == '\'' {
+                    // Distinguish a char literal from a lifetime: a char
+                    // literal is `'x'` or `'\…'`; a lifetime never closes
+                    // with a quote one or two characters later.
+                    let is_char = match next {
+                        Some('\\') => true,
+                        Some(_) => chars.get(i + 2) == Some(&'\''),
+                        None => false,
+                    };
+                    if is_char {
+                        state = State::Char;
+                        code.push('\'');
+                        i += 1;
+                        continue;
+                    }
+                }
+                code.push(c);
+                i += 1;
+            }
+            State::LineComment => {
+                comment.push(c);
+                code.push(' ');
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    comment.push_str("/*");
+                    code.push(' ');
+                    code.push(' ');
+                    raw.push('*');
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth <= 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    if depth > 1 {
+                        comment.push_str("*/");
+                    }
+                    code.push(' ');
+                    code.push(' ');
+                    raw.push('/');
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    code.push(' ');
+                    if let Some(n) = next {
+                        if n != '\n' {
+                            raw.push(n);
+                            code.push(' ');
+                        } else {
+                            // Escaped newline: flush and continue the string.
+                            flush_line!();
+                        }
+                        i += 2;
+                        continue;
+                    }
+                    i += 1;
+                    continue;
+                }
+                if c == '"' {
+                    state = State::Code;
+                    code.push('"');
+                } else {
+                    code.push(' ');
+                }
+                i += 1;
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw_string(&chars, i, hashes) {
+                    code.push('"');
+                    for _ in 0..hashes {
+                        raw.push('#');
+                        code.push('#');
+                    }
+                    state = State::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Char => {
+                if c == '\\' {
+                    code.push(' ');
+                    if let Some(n) = next {
+                        if n != '\n' {
+                            raw.push(n);
+                            code.push(' ');
+                        }
+                        i += 2;
+                        continue;
+                    }
+                    i += 1;
+                    continue;
+                }
+                if c == '\'' {
+                    state = State::Code;
+                    code.push('\'');
+                } else {
+                    code.push(' ');
+                }
+                i += 1;
+            }
+        }
+    }
+    if !raw.is_empty() || !code.is_empty() || raw_lines.is_empty() {
+        flush_line!();
+    }
+
+    let in_test = mark_test_regions(&code_lines);
+    ScannedFile {
+        raw: raw_lines,
+        code: code_lines,
+        comments: comment_lines,
+        in_test,
+    }
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0
+        && chars
+            .get(i - 1)
+            .is_some_and(|c| c.is_alphanumeric() || *c == '_')
+}
+
+/// If `chars[i..]` opens a raw string (`r`, `br`, `r#`, …), returns the
+/// hash count; `None` otherwise.
+fn raw_string_open(chars: &[char], i: usize) -> Option<u32> {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') {
+        Some(hashes)
+    } else {
+        None
+    }
+}
+
+fn closes_raw_string(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Marks the lines covered by `#[cfg(test)]` item regions.
+///
+/// After a `#[cfg(test)]` attribute, the region runs to the matching
+/// closing brace of the item's body (or to a terminating `;` for
+/// brace-less items such as `mod tests;`).
+fn mark_test_regions(code_lines: &[String]) -> Vec<bool> {
+    let mut in_test = vec![false; code_lines.len()];
+    let mut depth: i64 = 0;
+    let mut pending = false;
+    let mut region_floor: Option<i64> = None;
+
+    for (idx, line) in code_lines.iter().enumerate() {
+        if line.contains("#[cfg(test)]") {
+            pending = true;
+        }
+        let mut line_is_test = pending || region_floor.is_some();
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    if pending {
+                        region_floor = Some(depth);
+                        pending = false;
+                        line_is_test = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if let Some(floor) = region_floor {
+                        if depth <= floor {
+                            region_floor = None;
+                            line_is_test = true;
+                        }
+                    }
+                }
+                // `#[cfg(test)] mod tests;` — single-line region.
+                ';' if pending => {
+                    pending = false;
+                    line_is_test = true;
+                }
+                _ => {}
+            }
+        }
+        in_test[idx] = line_is_test || region_floor.is_some();
+    }
+    in_test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_doc_comments() {
+        let s = scan("let x = 1; // trailing .unwrap()\n/// doc .expect(\nlet y = 2;\n");
+        assert!(!s.code[0].contains("unwrap"));
+        assert!(s.comments[0].contains("unwrap"));
+        assert!(!s.code[1].contains("expect"));
+        assert!(s.code[2].contains("let y"));
+    }
+
+    #[test]
+    fn strips_nested_block_comments() {
+        let s = scan("a /* one /* two */ still */ b\n");
+        assert!(s.code[0].contains('a'));
+        assert!(s.code[0].contains('b'));
+        assert!(!s.code[0].contains("one"));
+        assert!(!s.code[0].contains("still"));
+    }
+
+    #[test]
+    fn blanks_string_contents_but_keeps_quotes() {
+        let s = scan("let m = \"call .unwrap() now\"; foo();\n");
+        assert!(!s.code[0].contains("unwrap"));
+        assert!(s.code[0].contains("foo()"));
+        assert_eq!(s.code[0].matches('"').count(), 2);
+    }
+
+    #[test]
+    fn handles_raw_strings_and_escapes() {
+        let s = scan("let r = r#\"panic! \"quoted\" inside\"#; bar();\n");
+        assert!(!s.code[0].contains("panic"));
+        assert!(s.code[0].contains("bar()"));
+        let s = scan("let e = \"esc \\\" .expect( more\"; baz();\n");
+        assert!(!s.code[0].contains("expect"));
+        assert!(s.code[0].contains("baz()"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let s = scan("fn f<'a>(x: &'a str) { let q = '\\''; let n = 'z'; g(); }\n");
+        assert!(s.code[0].contains("fn f<'a>"));
+        assert!(s.code[0].contains("g();"));
+    }
+
+    #[test]
+    fn cfg_test_region_covers_module_body() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let s = scan(src);
+        assert_eq!(s.in_test, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_test_on_single_item() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn prod() {}\n";
+        let s = scan(src);
+        assert!(s.in_test[0]);
+        assert!(s.in_test[1]);
+        assert!(!s.in_test[2]);
+    }
+
+    #[test]
+    fn preserves_line_count_and_raw_text() {
+        let src = "a\nb /* c\nd */ e\nf";
+        let s = scan(src);
+        assert_eq!(s.raw.len(), 4);
+        assert_eq!(s.raw[1], "b /* c");
+        assert_eq!(s.code.len(), 4);
+        assert_eq!(s.comments.len(), 4);
+    }
+}

@@ -1,0 +1,44 @@
+//! The fixture corpus must behave exactly as labelled: pass fixtures
+//! lint clean, fail fixtures trip precisely their named rule.
+
+use std::path::PathBuf;
+
+use prc_lint::{self_test, RULE_IDS};
+
+fn fixtures_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+#[test]
+fn every_fixture_behaves_as_labelled() {
+    let results = self_test(&fixtures_dir()).expect("fixture corpus must be readable");
+    let failures: Vec<String> = results
+        .iter()
+        .filter_map(|r| r.problem.as_ref().map(|p| format!("{}: {p}", r.name)))
+        .collect();
+    assert!(
+        failures.is_empty(),
+        "fixture failures:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn corpus_covers_every_rule() {
+    let results = self_test(&fixtures_dir()).expect("fixture corpus must be readable");
+    // 12 fail + 12 pass fixtures, one pair per rule.
+    assert_eq!(results.len(), 2 * RULE_IDS.len());
+    for rule in RULE_IDS {
+        let prefix = rule.to_lowercase();
+        assert!(
+            results.iter().any(|r| r.name.starts_with(&prefix)),
+            "no fail fixture for rule {rule}"
+        );
+    }
+}
+
+#[test]
+fn self_test_errors_on_missing_corpus() {
+    let missing = fixtures_dir().join("no-such-dir");
+    assert!(self_test(&missing).is_err());
+}

@@ -1,0 +1,33 @@
+//! The real source tree must lint clean: every invariant in the catalog
+//! holds across the workspace, and every escape hatch carries a reason
+//! and suppresses something. A finding here means newly added code broke
+//! an invariant (fix it, or add a `prc-lint: allow` with a reason).
+
+use std::path::PathBuf;
+
+use prc_lint::{lint_tree, render_text};
+
+fn workspace_root() -> PathBuf {
+    // crates/lint/ -> crates/ -> workspace root
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+#[test]
+fn workspace_has_no_findings() {
+    let root = workspace_root();
+    assert!(
+        root.join("Cargo.toml").is_file(),
+        "expected the workspace root at {}",
+        root.display()
+    );
+    let findings = lint_tree(&root).expect("workspace tree must be readable");
+    assert!(
+        findings.is_empty(),
+        "prc-lint found invariant violations in the workspace:\n{}",
+        render_text(&findings)
+    );
+}

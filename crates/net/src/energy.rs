@@ -113,7 +113,7 @@ impl EnergyReport {
     pub fn hottest_node(&self) -> Option<(NodeId, f64)> {
         self.per_node_nj
             .iter()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("energies are finite"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(&n, &e)| (n, e))
     }
 

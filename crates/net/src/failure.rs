@@ -18,8 +18,8 @@
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+// prc-lint: allow(B003, reason = "seeded failure-injection randomness; not privacy noise")
+use rand::{rngs::StdRng, RngExt, SeedableRng};
 
 use crate::message::NodeId;
 

@@ -462,6 +462,7 @@ impl ThreadedNetwork {
             };
             self.meter.record(&request, 1, 1);
             tx.send(Command::SampleTo(target))
+                // prc-lint: allow(P002, reason = "worker lifetime is owned by this struct; a closed channel means a worker panicked and must be re-raised")
                 .expect("node worker thread died");
         }
         let mut delivered = 0;
@@ -469,6 +470,7 @@ impl ThreadedNetwork {
             let batch = self
                 .sample_rx
                 .recv()
+                // prc-lint: allow(P002, reason = "worker lifetime is owned by this struct; a closed channel means a worker panicked and must be re-raised")
                 .expect("node worker thread died before replying");
             let message = Message::Sample(batch.clone());
             self.meter.record(&message, 1, 1);

@@ -1,7 +1,7 @@
 //! Sensor nodes: local data, ranks, and incremental Bernoulli sampling.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+// prc-lint: allow(B003, reason = "seeded per-node Bernoulli sampling randomness; not privacy noise")
+use rand::{rngs::StdRng, RngExt, SeedableRng};
 
 use crate::message::{NodeId, SampleEntry, SampleMessage};
 
@@ -56,7 +56,7 @@ impl SensorNode {
             data.iter().all(|v| !v.is_nan()),
             "node data must not contain NaN"
         );
-        data.sort_by(|a, b| a.partial_cmp(b).expect("NaN excluded above"));
+        data.sort_by(f64::total_cmp);
         let len = data.len();
         SensorNode {
             id,

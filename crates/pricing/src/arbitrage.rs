@@ -13,8 +13,8 @@
 //! An empty result certifies the pricing function against this attack
 //! class on the probed targets.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+// prc-lint: allow(B003, reason = "seeded attack-simulator randomness; not privacy noise")
+use rand::{rngs::StdRng, RngExt, SeedableRng};
 
 use crate::functions::PricingFunction;
 use crate::variance::VarianceModel;

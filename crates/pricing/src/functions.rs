@@ -61,10 +61,8 @@ impl<M: VarianceModel> InverseVariancePricing<M> {
     ///
     /// Panics unless `coefficient` is finite and positive.
     pub fn new(coefficient: f64, model: M) -> Self {
-        InverseVariancePricing {
-            coefficient: check_coefficient(coefficient).expect("invalid pricing coefficient"),
-            model,
-        }
+        // prc-lint: allow(P002, reason = "documented panicking convenience; fallible twin is try_new")
+        Self::try_new(coefficient, model).expect("invalid pricing coefficient")
     }
 
     /// Fallible constructor.
@@ -122,10 +120,21 @@ impl<M: VarianceModel> SqrtPrecisionPricing<M> {
     ///
     /// Panics unless `coefficient` is finite and positive.
     pub fn new(coefficient: f64, model: M) -> Self {
-        SqrtPrecisionPricing {
-            coefficient: check_coefficient(coefficient).expect("invalid pricing coefficient"),
+        // prc-lint: allow(P002, reason = "documented panicking convenience; fallible twin is try_new")
+        Self::try_new(coefficient, model).expect("invalid pricing coefficient")
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PricingError::InvalidParameter`] for a non-positive or
+    /// non-finite coefficient.
+    pub fn try_new(coefficient: f64, model: M) -> Result<Self, PricingError> {
+        Ok(SqrtPrecisionPricing {
+            coefficient: check_coefficient(coefficient)?,
             model,
-        }
+        })
     }
 
     /// The price of an answer with raw variance `v`.
@@ -160,10 +169,21 @@ impl<M: VarianceModel> LogPrecisionPricing<M> {
     ///
     /// Panics unless `coefficient` is finite and positive.
     pub fn new(coefficient: f64, model: M) -> Self {
-        LogPrecisionPricing {
-            coefficient: check_coefficient(coefficient).expect("invalid pricing coefficient"),
+        // prc-lint: allow(P002, reason = "documented panicking convenience; fallible twin is try_new")
+        Self::try_new(coefficient, model).expect("invalid pricing coefficient")
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PricingError::InvalidParameter`] for a non-positive or
+    /// non-finite coefficient.
+    pub fn try_new(coefficient: f64, model: M) -> Result<Self, PricingError> {
+        Ok(LogPrecisionPricing {
+            coefficient: check_coefficient(coefficient)?,
             model,
-        }
+        })
     }
 
     /// The price of an answer with raw variance `v`.
@@ -198,9 +218,20 @@ impl LinearDeltaPricing {
     ///
     /// Panics unless `coefficient` is finite and positive.
     pub fn new(coefficient: f64) -> Self {
-        LinearDeltaPricing {
-            coefficient: check_coefficient(coefficient).expect("invalid pricing coefficient"),
-        }
+        // prc-lint: allow(P002, reason = "documented panicking convenience; fallible twin is try_new")
+        Self::try_new(coefficient).expect("invalid pricing coefficient")
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PricingError::InvalidParameter`] for a non-positive or
+    /// non-finite coefficient.
+    pub fn try_new(coefficient: f64) -> Result<Self, PricingError> {
+        Ok(LinearDeltaPricing {
+            coefficient: check_coefficient(coefficient)?,
+        })
     }
 }
 
@@ -293,6 +324,12 @@ mod tests {
         assert!(InverseVariancePricing::try_new(0.0, model()).is_err());
         assert!(InverseVariancePricing::try_new(f64::NAN, model()).is_err());
         assert!(InverseVariancePricing::try_new(5.0, model()).is_ok());
+        assert!(SqrtPrecisionPricing::try_new(-2.0, model()).is_err());
+        assert!(SqrtPrecisionPricing::try_new(2.0, model()).is_ok());
+        assert!(LogPrecisionPricing::try_new(f64::INFINITY, model()).is_err());
+        assert!(LogPrecisionPricing::try_new(1.0, model()).is_ok());
+        assert!(LinearDeltaPricing::try_new(0.0).is_err());
+        assert!(LinearDeltaPricing::try_new(3.0).is_ok());
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //! never save money, and (unlike the stateless scheme) over-buying in
 //! small pieces never *loses* money either.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::functions::{
     InverseVariancePricing, LogPrecisionPricing, PricingFunction, SqrtPrecisionPricing,
@@ -88,8 +88,9 @@ impl<M: VarianceModel> PrecisionPricing for LogPrecisionPricing<M> {
 pub struct HistoryAwarePricing<F, M> {
     base: F,
     model: M,
-    /// Accumulated precision per (buyer, query key).
-    holdings: HashMap<(String, String), f64>,
+    /// Accumulated precision per (buyer, query key). A `BTreeMap` keeps
+    /// every exported view of the ledger in a stable, reproducible order.
+    holdings: BTreeMap<(String, String), f64>,
 }
 
 impl<F, M> HistoryAwarePricing<F, M>
@@ -102,7 +103,7 @@ where
         HistoryAwarePricing {
             base,
             model,
-            holdings: HashMap::new(),
+            holdings: BTreeMap::new(),
         }
     }
 
@@ -152,6 +153,17 @@ where
     /// answers stale).
     pub fn forget_buyer(&mut self, buyer: &str) {
         self.holdings.retain(|(b, _), _| b != buyer);
+    }
+
+    /// The full ledger of held precisions, sorted by `(buyer, query key)`.
+    ///
+    /// The iteration order is deterministic — identical purchase
+    /// histories always export identical sequences — so audit logs and
+    /// serialized reports built from it are byte-reproducible.
+    pub fn holdings(&self) -> impl Iterator<Item = (&str, &str, f64)> {
+        self.holdings
+            .iter()
+            .map(|((buyer, query), &w)| (buyer.as_str(), query.as_str(), w))
     }
 }
 
@@ -287,6 +299,49 @@ mod tests {
         assert_eq!(pricing.quote("alice", "q1", 0.1, 0.5), fresh);
         // Bob's history survives.
         assert!(pricing.quote("bob", "q1", 0.1, 0.5) < fresh);
+    }
+
+    #[test]
+    fn holdings_export_is_sorted_and_insertion_order_independent() {
+        let keys = [
+            ("carol", "q2"),
+            ("alice", "q9"),
+            ("bob", "q1"),
+            ("alice", "q1"),
+            ("carol", "q1"),
+        ];
+        let export = |order: &[(&str, &str)]| {
+            let mut pricing =
+                HistoryAwarePricing::new(SqrtPrecisionPricing::new(1e3, model()), model());
+            for &(buyer, query) in order {
+                pricing.purchase(buyer, query, 0.1, 0.5);
+            }
+            pricing
+                .holdings()
+                .map(|(b, q, w)| (b.to_owned(), q.to_owned(), w))
+                .collect::<Vec<_>>()
+        };
+        let forward = export(&keys);
+        let mut reversed_keys = keys;
+        reversed_keys.reverse();
+        let backward = export(&reversed_keys);
+        // The emitted order is pinned to the sorted key order, whatever
+        // order purchases arrived in.
+        assert_eq!(forward, backward);
+        let emitted: Vec<(&str, &str)> = forward
+            .iter()
+            .map(|(b, q, _)| (b.as_str(), q.as_str()))
+            .collect();
+        assert_eq!(
+            emitted,
+            vec![
+                ("alice", "q1"),
+                ("alice", "q9"),
+                ("bob", "q1"),
+                ("carol", "q1"),
+                ("carol", "q2"),
+            ]
+        );
     }
 
     #[test]

@@ -145,6 +145,7 @@ pub fn tune_scale<F: PricingFunction>(
             best = Some((scale, outcome));
         }
     }
+    // prc-lint: allow(P002, reason = "unreachable: the assert above guarantees at least one candidate, so the loop always sets best")
     best.expect("candidates is non-empty")
 }
 

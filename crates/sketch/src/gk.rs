@@ -156,16 +156,16 @@ impl GkSummary {
 
     /// Certified bounds on the rank `|{v ≤ x}|`.
     pub fn rank_bounds(&self, x: f64) -> CountBounds {
-        if self.tuples.is_empty() {
+        let Some(first) = self.tuples.first() else {
             return CountBounds { lower: 0, upper: 0 };
-        }
+        };
         // Index of the last tuple with value ≤ x.
         let pos = self.tuples.partition_point(|t| t.value <= x);
         if pos == 0 {
             // x precedes every summarized value.
             return CountBounds {
                 lower: 0,
-                upper: self.tuples[0].g.saturating_sub(1) + self.tuples[0].delta,
+                upper: first.g.saturating_sub(1) + first.delta,
             };
         }
         let rmin: u64 = self.tuples[..pos].iter().map(|t| t.g).sum();

@@ -6,6 +6,9 @@
 //! cargo run --release --example air_quality_marketplace
 //! ```
 
+// Demo binaries may die loudly; library code is held to prc-lint's P rules instead.
+#![allow(clippy::unwrap_used)]
+
 use prc::prelude::*;
 
 struct Customer {

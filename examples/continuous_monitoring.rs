@@ -7,6 +7,9 @@
 //! cargo run --release --example continuous_monitoring
 //! ```
 
+// Demo binaries may die loudly; library code is held to prc-lint's P rules instead.
+#![allow(clippy::unwrap_used)]
+
 use prc::core::monitor::{ContinuousMonitor, MonitorConfig};
 use prc::core::optimizer::NetworkShape;
 use prc::data::stream::StreamReplayer;

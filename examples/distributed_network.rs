@@ -8,6 +8,9 @@
 //! cargo run --release --example distributed_network
 //! ```
 
+// Demo binaries may die loudly; library code is held to prc-lint's P rules instead.
+#![allow(clippy::unwrap_used)]
+
 use prc::core::estimator::{RangeCountEstimator, RankCounting};
 use prc::prelude::*;
 

@@ -7,6 +7,9 @@
 //! cargo run --release --example private_analytics
 //! ```
 
+// Demo binaries may die loudly; library code is held to prc-lint's P rules instead.
+#![allow(clippy::unwrap_used)]
+
 use prc::core::estimator::RankCounting;
 use prc::core::histogram::{private_argmax_bucket, private_histogram};
 use prc::core::quantile::{private_quantiles, QuantileConfig};

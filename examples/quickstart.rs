@@ -4,6 +4,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
+// Demo binaries may die loudly; library code is held to prc-lint's P rules instead.
+#![allow(clippy::unwrap_used)]
+
 use prc::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -14,6 +14,7 @@
 
 use std::io::Write;
 
+// prc-lint: allow(B003, reason = "seeds the demo rng passed into prc-core; all noise draws happen inside prc-dp")
 use rand::SeedableRng;
 
 use prc_core::broker::DataBroker;
@@ -432,6 +433,7 @@ pub fn run<W: Write>(command: &Command, out: &mut W) -> Result<(), CliError> {
                 *seed,
             );
             network.collect_samples(*probability);
+            // prc-lint: allow(B003, reason = "seeds the demo rng passed into prc-core; all noise draws happen inside prc-dp")
             let mut rng = rand::rngs::StdRng::seed_from_u64(*seed);
             let config = prc_core::quantile::QuantileConfig {
                 domain: (0.0, 200.0),
@@ -490,6 +492,7 @@ pub fn run<W: Write>(command: &Command, out: &mut W) -> Result<(), CliError> {
             let edges: Vec<f64> = (0..=*buckets)
                 .map(|i| 200.0 * i as f64 / *buckets as f64)
                 .collect();
+            // prc-lint: allow(B003, reason = "seeds the demo rng passed into prc-core; all noise draws happen inside prc-dp")
             let mut rng = rand::rngs::StdRng::seed_from_u64(*seed);
             let sensitivity =
                 Sensitivity::new(1.0 / probability).map_err(|e| CliError::Run(e.to_string()))?;
