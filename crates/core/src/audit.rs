@@ -82,70 +82,74 @@ const TOLERANCE: f64 = 1e-6;
 /// ```
 ///
 /// Answers produced by the fixed-ε experiment hook
-/// (`DataBroker::answer_with_epsilon`) carry NaN intermediates and fail
-/// the split checks by design — they never claimed an `(α, δ)` guarantee.
+/// (`DataBroker::answer_with_epsilon`) carry no `(α, δ)` demand
+/// (`accuracy` is `None`), so the demand checks 1–4 are skipped for
+/// them; the budget and variance bookkeeping (checks 5–6) is still
+/// audited in full.
 pub fn audit_answer(answer: &PrivateAnswer, shape: NetworkShape) -> Vec<AuditFinding> {
     let mut findings = Vec::new();
     let plan = &answer.plan;
-    let alpha = answer.accuracy.alpha();
-    let delta = answer.accuracy.delta();
     let n = shape.n as f64;
 
     let mut fail = |check: AuditCheck, detail: String| {
         findings.push(AuditFinding { check, detail });
     };
 
-    // 1. α split.
-    if !(plan.alpha_prime > 0.0 && plan.alpha_prime < alpha) {
-        fail(
-            AuditCheck::AlphaSplit,
-            format!("alpha_prime {} not in (0, {alpha})", plan.alpha_prime),
-        );
-    }
-    // 2. δ split.
-    if !(plan.delta_prime > delta && plan.delta_prime <= 1.0) {
-        fail(
-            AuditCheck::DeltaSplit,
-            format!("delta_prime {} not in ({delta}, 1]", plan.delta_prime),
-        );
-    }
-    // 3. δ′ consistency with Theorem 3.3.
-    match achieved_delta(plan.probability, plan.alpha_prime, shape.k, shape.n) {
-        Ok(expected) => {
-            if (expected - plan.delta_prime).abs() > TOLERANCE {
-                fail(
-                    AuditCheck::DeltaConsistency,
-                    format!(
-                        "claimed delta_prime {} but Theorem 3.3 yields {expected}",
-                        plan.delta_prime
-                    ),
-                );
-            }
+    if let Some(accuracy) = answer.accuracy {
+        let alpha = accuracy.alpha();
+        let delta = accuracy.delta();
+        // 1. α split.
+        if !(plan.alpha_prime > 0.0 && plan.alpha_prime < alpha) {
+            fail(
+                AuditCheck::AlphaSplit,
+                format!("alpha_prime {} not in (0, {alpha})", plan.alpha_prime),
+            );
         }
-        Err(e) => fail(AuditCheck::DeltaConsistency, e.to_string()),
-    }
-    // 4. Tail constraint and composition.
-    let tolerance = (alpha - plan.alpha_prime) * n;
-    match central_probability(plan.noise_scale, tolerance) {
-        Ok(mass) => {
-            let required = delta / plan.delta_prime;
-            if mass + TOLERANCE < required {
-                fail(
-                    AuditCheck::TailConstraint,
-                    format!("noise mass {mass} below required τ = {required}"),
-                );
-            }
-            if plan.delta_prime * mass + TOLERANCE < delta {
-                fail(
-                    AuditCheck::Composition,
-                    format!(
-                        "composed confidence {} below demanded δ = {delta}",
-                        plan.delta_prime * mass
-                    ),
-                );
-            }
+        // 2. δ split.
+        if !(plan.delta_prime > delta && plan.delta_prime <= 1.0) {
+            fail(
+                AuditCheck::DeltaSplit,
+                format!("delta_prime {} not in ({delta}, 1]", plan.delta_prime),
+            );
         }
-        Err(e) => fail(AuditCheck::TailConstraint, e.to_string()),
+        // 3. δ′ consistency with Theorem 3.3.
+        match achieved_delta(plan.probability, plan.alpha_prime, shape.k, shape.n) {
+            Ok(expected) => {
+                if (expected - plan.delta_prime).abs() > TOLERANCE {
+                    fail(
+                        AuditCheck::DeltaConsistency,
+                        format!(
+                            "claimed delta_prime {} but Theorem 3.3 yields {expected}",
+                            plan.delta_prime
+                        ),
+                    );
+                }
+            }
+            Err(e) => fail(AuditCheck::DeltaConsistency, e.to_string()),
+        }
+        // 4. Tail constraint and composition.
+        let tolerance = (alpha - plan.alpha_prime) * n;
+        match central_probability(plan.noise_scale, tolerance) {
+            Ok(mass) => {
+                let required = delta / plan.delta_prime;
+                if mass + TOLERANCE < required {
+                    fail(
+                        AuditCheck::TailConstraint,
+                        format!("noise mass {mass} below required τ = {required}"),
+                    );
+                }
+                if plan.delta_prime * mass + TOLERANCE < delta {
+                    fail(
+                        AuditCheck::Composition,
+                        format!(
+                            "composed confidence {} below demanded δ = {delta}",
+                            plan.delta_prime * mass
+                        ),
+                    );
+                }
+            }
+            Err(e) => fail(AuditCheck::TailConstraint, e.to_string()),
+        }
     }
     // 5. ε and ε′ bookkeeping.
     let implied_epsilon = plan.sensitivity / plan.noise_scale;
@@ -294,7 +298,9 @@ mod tests {
     }
 
     #[test]
-    fn fixed_epsilon_answers_fail_split_checks_by_design() {
+    fn fixed_epsilon_answers_skip_demand_checks_but_audit_clean() {
+        // No (α, δ) was demanded, so checks 1–4 don't apply; the budget
+        // and variance bookkeeping (checks 5–6) must still be honest.
         let mut b = broker(5);
         let answer = b
             .answer_with_epsilon(
@@ -303,9 +309,16 @@ mod tests {
                 0.3,
             )
             .unwrap();
+        assert!(answer.accuracy.is_none());
         let shape = NetworkShape::from_station(b.network().station()).unwrap();
         let findings = audit_answer(&answer, shape);
-        assert!(findings.iter().any(|f| f.check == AuditCheck::AlphaSplit));
+        assert!(findings.is_empty(), "{findings:?}");
+        // Tampering with the budget bookkeeping is still caught.
+        let mut tampered = answer;
+        tampered.plan.noise_scale *= 3.0;
+        assert!(audit_answer(&tampered, shape)
+            .iter()
+            .any(|f| f.check == AuditCheck::EpsilonScale));
     }
 
     #[test]

@@ -28,17 +28,17 @@
 use std::collections::BTreeMap;
 
 use prc_dp::budget::{BudgetAccountant, Epsilon};
-use prc_dp::laplace::draw_centered;
 // prc-lint: allow(B003, reason = "seeded noise-source RNG owned by the broker; every draw from it goes through prc-dp's draw_centered")
 use rand::{rngs::StdRng, SeedableRng};
 
 use prc_net::network::{FlatNetwork, Network};
-use prc_pricing::reuse::{Demand, ReuseGuard};
+use prc_pricing::engine::PricingEngine;
+use prc_pricing::reuse::ReuseGuard;
 
-use crate::accuracy::required_probability_clamped;
 use crate::error::CoreError;
 use crate::estimator::{QueryIndex, RangeCountEstimator, RankCounting};
-use crate::optimizer::{optimize, NetworkShape, OptimizerConfig, PerturbationPlan};
+use crate::optimizer::{OptimizerConfig, PerturbationPlan};
+use crate::pipeline::{PricedAnswer, QuerySession};
 use crate::query::{Accuracy, QueryRequest, RangeQuery};
 
 /// How aggressively the broker tops up samples before answering.
@@ -91,8 +91,11 @@ impl SamplingPolicy {
 pub struct PrivateAnswer {
     /// The queried range.
     pub query: RangeQuery,
-    /// The accuracy the customer asked (and pays) for.
-    pub accuracy: Accuracy,
+    /// The accuracy the customer asked (and pays) for. `None` for answers
+    /// released through the fixed-ε experiment hook
+    /// ([`DataBroker::answer_with_epsilon`]), which bypasses the `(α, δ)`
+    /// demand language entirely — there is no customer accuracy to record.
+    pub accuracy: Option<Accuracy>,
     /// The released noisy count — the only value a customer may see.
     pub value: f64,
     /// Broker-side record of the pre-noise sample estimate. **Never
@@ -129,6 +132,10 @@ pub struct StageCounters {
     pub index_builds: u64,
     /// Estimates answered through a query index instead of the scan.
     pub indexed_estimates: u64,
+    /// Priced transactions settled into the pricing engine's ledger.
+    pub settlements: u64,
+    /// Budget reservations rolled back because a later stage failed.
+    pub budget_rollbacks: u64,
 }
 
 /// Aggregate statistics for one [`DataBroker::answer_batch`] call.
@@ -174,7 +181,7 @@ impl BatchReport {
 /// Cache key: the queried range and the Laplace budget of the stored
 /// plan, all as exact bit patterns (grouped by range, so lookups scan the
 /// contiguous key span of one range).
-type CacheKey = (u64, u64, u64);
+pub(crate) type CacheKey = (u64, u64, u64);
 
 /// Snapshot of the station state a query index was built against: the
 /// uniform sampling probability (as exact bits, `None` when the station
@@ -182,11 +189,11 @@ type CacheKey = (u64, u64, u64);
 /// collection round — or an out-of-band [`DataBroker::network_mut`]
 /// mutation — can make to the answer of a query moves at least one of
 /// these, so a matching fingerprint certifies the index is current.
-type IndexFingerprint = (Option<u64>, usize);
+pub(crate) type IndexFingerprint = (Option<u64>, usize);
 
 /// The broker's per-epoch query-index slot.
 #[derive(Debug, Default)]
-enum IndexState {
+pub(crate) enum IndexState {
     /// No index and no knowledge of the station (initial state, and the
     /// state after every collection round).
     #[default]
@@ -200,13 +207,12 @@ enum IndexState {
 
 /// The data broker: answers `Λ(α, δ)` requests over any [`Network`].
 ///
-/// The broker follows the paper's two-phase pipeline:
-///
-/// 1. ensure enough samples exist (topping the network up per its
-///    [`SamplingPolicy`]),
-/// 2. run the estimator at the achieved probability `p`,
-/// 3. solve problem (3) for the optimal perturbation plan,
-/// 4. inject `Lap(Δγ̂/ε)` noise and release.
+/// Every entry point — [`DataBroker::answer`], [`DataBroker::answer_as`],
+/// [`DataBroker::answer_batch`], [`DataBroker::answer_with_epsilon`] — is
+/// a thin wrapper over the staged [`crate::pipeline`] session:
+/// Admit (quote + cache) → Collect (sample top-up per the
+/// [`SamplingPolicy`]) → Reserve (plan + two-phase budget hold) →
+/// Estimate → Perturb (`Lap(Δγ̂/ε)`) → Settle (commit, cache, ledger).
 ///
 /// An optional [`BudgetAccountant`] enforces a total privacy cap across
 /// queries (sequential composition of the *effective* budgets). An
@@ -217,17 +223,18 @@ enum IndexState {
 /// hits spend no budget.
 #[derive(Debug)]
 pub struct DataBroker<E = RankCounting, N = FlatNetwork> {
-    network: N,
-    estimator: E,
-    optimizer_config: OptimizerConfig,
-    sampling_policy: SamplingPolicy,
-    accountant: Option<BudgetAccountant>,
-    rng: StdRng,
-    reuse_guard: Option<Box<dyn ReuseGuard>>,
-    cache: BTreeMap<CacheKey, PrivateAnswer>,
-    counters: StageCounters,
-    index: IndexState,
-    index_threshold: usize,
+    pub(crate) network: N,
+    pub(crate) estimator: E,
+    pub(crate) optimizer_config: OptimizerConfig,
+    pub(crate) sampling_policy: SamplingPolicy,
+    pub(crate) accountant: Option<BudgetAccountant>,
+    pub(crate) rng: StdRng,
+    pub(crate) reuse_guard: Option<Box<dyn ReuseGuard>>,
+    pub(crate) pricing: Option<Box<dyn PricingEngine>>,
+    pub(crate) cache: BTreeMap<CacheKey, PrivateAnswer>,
+    pub(crate) counters: StageCounters,
+    pub(crate) index: IndexState,
+    pub(crate) index_threshold: usize,
 }
 
 impl<N: Network> DataBroker<RankCounting, N> {
@@ -248,6 +255,7 @@ impl<E: RangeCountEstimator, N: Network> DataBroker<E, N> {
             accountant: None,
             rng: StdRng::seed_from_u64(seed ^ 0xb5ad_4ece_da1c_e2a9),
             reuse_guard: None,
+            pricing: None,
             cache: BTreeMap::new(),
             counters: StageCounters::default(),
             index: IndexState::Stale,
@@ -291,6 +299,31 @@ impl<E: RangeCountEstimator, N: Network> DataBroker<E, N> {
     /// The privacy accountant, if a budget was installed.
     pub fn accountant(&self) -> Option<&BudgetAccountant> {
         self.accountant.as_ref()
+    }
+
+    /// Installs an existing accountant (e.g. a session-scoped budget a
+    /// monitor threads through its per-epoch brokers); subsequent answers
+    /// reserve and commit their effective `ε′` against it.
+    pub fn install_accountant(&mut self, accountant: BudgetAccountant) {
+        self.accountant = Some(accountant);
+    }
+
+    /// Removes and returns the accountant, leaving the broker unbudgeted.
+    pub fn take_accountant(&mut self) -> Option<BudgetAccountant> {
+        self.accountant.take()
+    }
+
+    /// Installs a pricing engine. With one installed,
+    /// [`DataBroker::answer_as`] quotes every admitted request against the
+    /// posted curve (refusing arbitrageable demands) and settles each
+    /// released answer into the engine's ledger.
+    pub fn enable_pricing(&mut self, engine: Box<dyn PricingEngine>) {
+        self.pricing = Some(engine);
+    }
+
+    /// The pricing engine, if one is installed.
+    pub fn pricing(&self) -> Option<&dyn PricingEngine> {
+        self.pricing.as_deref()
     }
 
     /// Enables the answer cache behind a pricing-layer reuse guard.
@@ -348,35 +381,27 @@ impl<E: RangeCountEstimator, N: Network> DataBroker<E, N> {
     /// * [`CoreError::NoSamples`] — the network delivered nothing (e.g.
     ///   every node dead).
     pub fn answer(&mut self, request: &QueryRequest) -> Result<PrivateAnswer, CoreError> {
-        if let Some(hit) = self.cache_lookup(request) {
-            self.counters.answers_released += 1;
-            return Ok(hit);
-        }
-        let k = self.network.node_count();
-        let n = self.network.total_data_size();
-        if n == 0 {
-            return Err(CoreError::NoSamples);
-        }
+        QuerySession::new(self).run(request).map(|priced| priced.answer)
+    }
 
-        // Phase 1: make sure samples suffice for the internal target.
-        let internal = self.sampling_policy.internal_target(request.accuracy);
-        let target_p = required_probability_clamped(internal, k, n)?;
-        self.ensure_probability(target_p);
-
-        // Phase 2: plan the perturbation at the probability actually
-        // achieved, topping up once more if the optimizer asks for it.
-        let plan = self.plan_with_retry(request.accuracy)?;
-
-        // Spend the *effective* budget before releasing anything.
-        if let Some(accountant) = &mut self.accountant {
-            accountant.spend(plan.effective_epsilon)?;
-        }
-
-        let sample_estimate = self.estimate_current(request.query);
-        let shape = NetworkShape::from_station(self.network.station())?;
-        let answer = self.release(request, plan, sample_estimate, shape)?;
-        self.cache_store(&answer);
-        Ok(answer)
+    /// Answers one request as a *priced transaction* for a named buyer.
+    ///
+    /// Requires a pricing engine ([`DataBroker::enable_pricing`]): the
+    /// Admit stage quotes the demand against the posted curve (refusing
+    /// invalid or arbitrageable demands before any budget is touched),
+    /// and the Settle stage records the trade — price, noise variance,
+    /// and rendered plan — into the engine's ledger.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`DataBroker::answer`] returns, plus
+    /// [`CoreError::Pricing`] when the engine refuses the quote.
+    pub fn answer_as(
+        &mut self,
+        buyer: &str,
+        request: &QueryRequest,
+    ) -> Result<PricedAnswer, CoreError> {
+        QuerySession::for_buyer(self, buyer).run(request)
     }
 
     /// Answers a batch of requests through the batched engine.
@@ -401,184 +426,15 @@ impl<E: RangeCountEstimator, N: Network> DataBroker<E, N> {
     where
         E: Sync,
     {
-        let meter_before = self.network.meter().snapshot();
-        let counters_before = self.counters;
-        let mut fan_out_threads: u64 = 0;
-        let mut answers: Vec<Option<Result<PrivateAnswer, CoreError>>> =
-            requests.iter().map(|_| None).collect();
-
-        let k = self.network.node_count();
-        let n = self.network.total_data_size();
-        let mut tiers: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
-        if n == 0 {
-            answers.fill(Some(Err(CoreError::NoSamples)));
-        } else {
-            // Stage 1: partition by required sampling rate.
-            for (i, request) in requests.iter().enumerate() {
-                let internal = self.sampling_policy.internal_target(request.accuracy);
-                match required_probability_clamped(internal, k, n) {
-                    Ok(p) => tiers.entry(p.to_bits()).or_default().push(i),
-                    Err(e) => answers[i] = Some(Err(e)),
-                }
-            }
-        }
-        let rate_tiers = tiers.len() as u64;
-
-        for (p_bits, members) in tiers {
-            // Stage 2: one collection round per tier (ascending rates, so
-            // each round is an incremental top-up).
-            self.ensure_probability(f64::from_bits(p_bits));
-
-            // Stage 3: cache, planning, and budget — sequential, in input
-            // order, because they mutate broker state.
-            let mut pending: Vec<(usize, PerturbationPlan)> = Vec::new();
-            let mut deferred: Vec<usize> = Vec::new();
-            for &i in &members {
-                let request = &requests[i];
-                if let Some(hit) = self.cache_lookup(request) {
-                    self.counters.answers_released += 1;
-                    answers[i] = Some(Ok(hit));
-                    continue;
-                }
-                // A duplicate of an earlier in-flight request will be
-                // servable from the cache once the tier releases; defer
-                // it instead of planning (and paying for) it twice.
-                if let Some(guard) = self.reuse_guard.as_deref() {
-                    let requested = Demand::new(request.accuracy.alpha(), request.accuracy.delta());
-                    let duplicate = pending.iter().any(|&(j, _)| {
-                        let prior = &requests[j];
-                        prior.query == request.query
-                            && guard.allows_reuse(
-                                requested,
-                                Demand::new(prior.accuracy.alpha(), prior.accuracy.delta()),
-                            )
-                    });
-                    if duplicate {
-                        deferred.push(i);
-                        continue;
-                    }
-                }
-                let plan = match self.plan_with_retry(request.accuracy) {
-                    Ok(plan) => plan,
-                    Err(e) => {
-                        answers[i] = Some(Err(e));
-                        continue;
-                    }
-                };
-                if let Some(accountant) = &mut self.accountant {
-                    if let Err(e) = accountant.spend(plan.effective_epsilon) {
-                        answers[i] = Some(Err(e.into()));
-                        continue;
-                    }
-                }
-                pending.push((i, plan));
-            }
-            if pending.is_empty() && deferred.is_empty() {
-                continue;
-            }
-
-            if !pending.is_empty() {
-                // Stage 4: estimator fan-out over the shared sample. The
-                // station is immutable for the rest of the tier, so worker
-                // threads share it; chunked spawning keeps the result
-                // order (and therefore the released answers)
-                // deterministic. With a query index ready for this epoch,
-                // every worker answers through it — same bits as the
-                // scan, `O(log S)` per query instead of `O(k log s)`.
-                self.prepare_index();
-                let station = self.network.station();
-                let estimator = &self.estimator;
-                let index = match &self.index {
-                    IndexState::Ready(_, index) => Some(index.as_ref()),
-                    _ => None,
-                };
-                let threads = std::thread::available_parallelism()
-                    .map(std::num::NonZeroUsize::get)
-                    .unwrap_or(1)
-                    .clamp(1, 8)
-                    .min(pending.len());
-                fan_out_threads = fan_out_threads.max(threads as u64);
-                let chunk_size = pending.len().div_ceil(threads);
-                let estimates: Vec<f64> = crossbeam::thread::scope(|scope| {
-                    let handles: Vec<_> = pending
-                        .chunks(chunk_size)
-                        .map(|chunk| {
-                            scope.spawn(move || {
-                                chunk
-                                    .iter()
-                                    .map(|&(i, _)| match index {
-                                        Some(index) => index.estimate(requests[i].query),
-                                        None => estimator.estimate(station, requests[i].query),
-                                    })
-                                    .collect::<Vec<f64>>()
-                            })
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        // prc-lint: allow(P002, reason = "re-raises a worker panic; no sound recovery exists")
-                        .flat_map(|h| h.join().expect("estimator worker panicked"))
-                        .collect()
-                })
-                // prc-lint: allow(P002, reason = "re-raises a worker panic; no sound recovery exists")
-                .expect("estimator scope failed");
-                if index.is_some() {
-                    self.counters.indexed_estimates += pending.len() as u64;
-                }
-
-                // Stage 5: noise and release, sequential in input order so
-                // the broker's noise stream is independent of the fan-out.
-                let shape = NetworkShape::from_station(self.network.station());
-                for (&(i, plan), sample_estimate) in pending.iter().zip(estimates) {
-                    let result = shape
-                        .clone()
-                        .and_then(|shape| self.release(&requests[i], plan, sample_estimate, shape));
-                    if let Ok(answer) = &result {
-                        self.cache_store(answer);
-                    }
-                    answers[i] = Some(result);
-                }
-            }
-
-            // Deferred duplicates now find their progenitor in the cache
-            // (or, if it failed, re-run the pipeline and fail the same
-            // way).
-            for i in deferred {
-                let result = self.answer(&requests[i]);
-                answers[i] = Some(result);
-            }
-        }
-
-        let meter_after = self.network.meter().snapshot();
-        let counters_after = self.counters;
-        BatchReport {
-            answers: answers
-                .into_iter()
-                // prc-lint: allow(P002, reason = "loud invariant: every tier fills its members' slots; a silent Err would mask a scheduler bug")
-                .map(|slot| slot.expect("every request resolved"))
-                .collect(),
-            stats: BatchStats {
-                requests: requests.len() as u64,
-                rate_tiers,
-                collection_rounds: counters_after.collection_rounds
-                    - counters_before.collection_rounds,
-                samples_collected: counters_after.samples_collected
-                    - counters_before.samples_collected,
-                cache_hits: counters_after.cache_hits - counters_before.cache_hits,
-                chargeable_messages: meter_after.chargeable_messages()
-                    - meter_before.chargeable_messages(),
-                fan_out_threads,
-                index_builds: counters_after.index_builds - counters_before.index_builds,
-                indexed_estimates: counters_after.indexed_estimates
-                    - counters_before.indexed_estimates,
-            },
-        }
+        crate::pipeline::batch::run_batch(self, requests)
     }
 
     /// Experiment hook: answers with a *fixed* Laplace budget `ε` instead
     /// of the optimizer (used by the Fig. 5 / Fig. 6 reproductions, which
     /// sweep ε directly). Samples are topped up to `p` first; sensitivity
-    /// follows the configured policy.
+    /// follows the configured policy. The released answer carries
+    /// `accuracy: None` — there is no `(α, δ)` demand to record — and a
+    /// degenerate but fully finite [`PerturbationPlan`].
     ///
     /// # Errors
     ///
@@ -589,194 +445,7 @@ impl<E: RangeCountEstimator, N: Network> DataBroker<E, N> {
         epsilon: Epsilon,
         p: f64,
     ) -> Result<PrivateAnswer, CoreError> {
-        if !(0.0..=1.0).contains(&p) || p == 0.0 {
-            return Err(CoreError::InvalidProbability { value: p });
-        }
-        self.ensure_probability(p);
-        let shape = NetworkShape::from_station(self.network.station())?;
-        let achieved = self.network.station().effective_probability();
-        let sensitivity = match self.optimizer_config.sensitivity {
-            crate::optimizer::SensitivityPolicy::Expected => 1.0 / achieved,
-            crate::optimizer::SensitivityPolicy::WorstCase => shape.max_node_population as f64,
-            crate::optimizer::SensitivityPolicy::Fixed(v) => v,
-        };
-        let noise_scale = sensitivity / epsilon.value();
-        let effective = prc_dp::amplification::amplify(epsilon, achieved)?;
-        if let Some(accountant) = &mut self.accountant {
-            accountant.spend(effective)?;
-        }
-        let sample_estimate = self.estimate_current(query);
-        let noise = draw_centered(noise_scale, &mut self.rng)?;
-        let plan = PerturbationPlan {
-            alpha_prime: f64::NAN,
-            delta_prime: f64::NAN,
-            epsilon,
-            effective_epsilon: effective,
-            sensitivity,
-            noise_scale,
-            probability: achieved,
-            tail_probability: f64::NAN,
-        };
-        // prc-lint: allow(P002, reason = "constant (0.5, 0.5) is always a valid accuracy")
-        let accuracy = Accuracy::new(0.5, 0.5).expect("placeholder accuracy is valid");
-        self.counters.answers_released += 1;
-        Ok(PrivateAnswer {
-            query,
-            accuracy,
-            value: sample_estimate + noise,
-            sample_estimate,
-            plan,
-            variance_bound: self.estimator.variance_bound(shape.k, shape.n, achieved)
-                + 2.0 * noise_scale * noise_scale,
-        })
-    }
-
-    /// Draws the noise and assembles the released answer.
-    fn release(
-        &mut self,
-        request: &QueryRequest,
-        plan: PerturbationPlan,
-        sample_estimate: f64,
-        shape: NetworkShape,
-    ) -> Result<PrivateAnswer, CoreError> {
-        let noise = draw_centered(plan.noise_scale, &mut self.rng)?;
-        let variance_bound = self
-            .estimator
-            .variance_bound(shape.k, shape.n, plan.probability)
-            + plan.noise_variance();
-        self.counters.answers_released += 1;
-        Ok(PrivateAnswer {
-            query: request.query,
-            accuracy: request.accuracy,
-            value: sample_estimate + noise,
-            sample_estimate,
-            plan,
-            variance_bound,
-        })
-    }
-
-    /// Solves problem (3), topping up once more if the optimizer reports
-    /// the demand infeasible at the achieved probability.
-    fn plan_with_retry(&mut self, accuracy: Accuracy) -> Result<PerturbationPlan, CoreError> {
-        match self.plan(accuracy) {
-            Ok(plan) => Ok(plan),
-            Err(CoreError::InfeasibleAccuracy {
-                required_probability,
-                ..
-            }) => {
-                self.ensure_probability((required_probability * 1.05).min(1.0));
-                self.plan(accuracy)
-            }
-            Err(e) => Err(e),
-        }
-    }
-
-    /// Solves problem (3) at the currently achieved sampling probability.
-    fn plan(&self, accuracy: Accuracy) -> Result<PerturbationPlan, CoreError> {
-        let station = self.network.station();
-        let p = station.effective_probability();
-        if p <= 0.0 {
-            return Err(CoreError::NoSamples);
-        }
-        let shape = NetworkShape::from_station(station)?;
-        optimize(accuracy, p, shape, &self.optimizer_config)
-    }
-
-    /// Tops the network up to probability `target` when it lags.
-    ///
-    /// A round that actually collects starts a new epoch: any query
-    /// index built against the previous sample state is invalidated.
-    fn ensure_probability(&mut self, target: f64) {
-        let current = self.network.station().effective_probability();
-        if current < target {
-            let delivered = self
-                .network
-                .collect_samples(target.clamp(f64::MIN_POSITIVE, 1.0));
-            self.counters.collection_rounds += 1;
-            self.counters.samples_collected += delivered as u64;
-            self.index = IndexState::Stale;
-        }
-    }
-
-    /// Makes the index slot reflect the station's *current* state: keeps
-    /// a slot whose fingerprint still matches, otherwise rebuilds (or
-    /// records unavailability) at the current fingerprint. After this
-    /// returns, an `IndexState::Ready` slot is safe to answer from.
-    fn prepare_index(&mut self) {
-        let station = self.network.station();
-        let fingerprint: IndexFingerprint = (
-            station.uniform_probability().map(f64::to_bits),
-            station.total_samples(),
-        );
-        let current = match &self.index {
-            IndexState::Stale => false,
-            IndexState::Unavailable(f) | IndexState::Ready(f, _) => *f == fingerprint,
-        };
-        if current {
-            return;
-        }
-        let built = if station.total_samples() >= self.index_threshold {
-            self.estimator.build_index(station)
-        } else {
-            None
-        };
-        self.index = match built {
-            Some(index) => {
-                self.counters.index_builds += 1;
-                IndexState::Ready(fingerprint, index)
-            }
-            None => IndexState::Unavailable(fingerprint),
-        };
-    }
-
-    /// Runs one estimate against the station's current state, through
-    /// the epoch's query index when one is available (bit-identical to
-    /// the direct scan by the [`QueryIndex`] contract).
-    fn estimate_current(&mut self, query: RangeQuery) -> f64 {
-        self.prepare_index();
-        match &self.index {
-            IndexState::Ready(_, index) => {
-                self.counters.indexed_estimates += 1;
-                index.estimate(query)
-            }
-            _ => self.estimator.estimate(self.network.station(), query),
-        }
-    }
-
-    /// Looks the request up in the answer cache, if caching is enabled.
-    fn cache_lookup(&mut self, request: &QueryRequest) -> Option<PrivateAnswer> {
-        let guard = self.reuse_guard.as_deref()?;
-        let lower = request.query.lower().to_bits();
-        let upper = request.query.upper().to_bits();
-        let requested = Demand::new(request.accuracy.alpha(), request.accuracy.delta());
-        let hit = self
-            .cache
-            .range((lower, upper, u64::MIN)..=(lower, upper, u64::MAX))
-            .map(|(_, answer)| answer)
-            .find(|answer| {
-                let cached = Demand::new(answer.accuracy.alpha(), answer.accuracy.delta());
-                guard.allows_reuse(requested, cached)
-            })
-            .copied();
-        if hit.is_some() {
-            self.counters.cache_hits += 1;
-        } else {
-            self.counters.cache_misses += 1;
-        }
-        hit
-    }
-
-    /// Stores a freshly released answer for future reuse.
-    fn cache_store(&mut self, answer: &PrivateAnswer) {
-        if self.reuse_guard.is_none() {
-            return;
-        }
-        let key = (
-            answer.query.lower().to_bits(),
-            answer.query.upper().to_bits(),
-            answer.plan.epsilon.value().to_bits(),
-        );
-        self.cache.entry(key).or_insert(*answer);
+        QuerySession::new(self).run_fixed(query, epsilon, p)
     }
 }
 
@@ -839,7 +508,7 @@ mod tests {
         let req = request(100.0, 900.0, 0.1, 0.6);
         let answer = broker.answer(&req).unwrap();
         assert_eq!(answer.query, req.query);
-        assert_eq!(answer.accuracy, req.accuracy);
+        assert_eq!(answer.accuracy, Some(req.accuracy));
         assert!(answer.plan.alpha_prime < req.accuracy.alpha());
         assert!(answer.plan.delta_prime > req.accuracy.delta());
         assert!(answer.variance_bound > 0.0);

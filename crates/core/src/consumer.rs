@@ -94,7 +94,7 @@ mod tests {
     fn answer(value: f64, variance: f64, l: f64, u: f64) -> PrivateAnswer {
         PrivateAnswer {
             query: RangeQuery::new(l, u).unwrap(),
-            accuracy: Accuracy::new(0.1, 0.5).unwrap(),
+            accuracy: Some(Accuracy::new(0.1, 0.5).unwrap()),
             value,
             sample_estimate: value,
             plan: PerturbationPlan {

@@ -40,6 +40,9 @@ pub enum CoreError {
     NoSamples,
     /// An underlying differential-privacy error.
     Dp(DpError),
+    /// The pricing engine refused the transaction at admission (invalid
+    /// demand, or the posted curve is arbitrageable at it).
+    Pricing(prc_pricing::PricingError),
 }
 
 impl fmt::Display for CoreError {
@@ -68,6 +71,7 @@ impl fmt::Display for CoreError {
             }
             CoreError::NoSamples => write!(f, "the base station holds no samples"),
             CoreError::Dp(e) => write!(f, "differential privacy error: {e}"),
+            CoreError::Pricing(e) => write!(f, "pricing error: {e}"),
         }
     }
 }
@@ -76,6 +80,7 @@ impl std::error::Error for CoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CoreError::Dp(e) => Some(e),
+            CoreError::Pricing(e) => Some(e),
             _ => None,
         }
     }
@@ -84,6 +89,12 @@ impl std::error::Error for CoreError {
 impl From<DpError> for CoreError {
     fn from(e: DpError) -> Self {
         CoreError::Dp(e)
+    }
+}
+
+impl From<prc_pricing::PricingError> for CoreError {
+    fn from(e: prc_pricing::PricingError) -> Self {
+        CoreError::Pricing(e)
     }
 }
 

@@ -16,14 +16,18 @@
 //!    accuracies `(α′, δ′)` for the Laplace budget `ε` whose amplified
 //!    effective budget `ε′ = ln(1 + p(e^ε − 1))` is smallest while the
 //!    noisy answer still meets `(α, δ)`.
-//! 3. **The broker pipeline** (§II-A): [`broker::DataBroker`] tops up
-//!    network samples on demand, runs the estimator, perturbs the result
-//!    per the optimizer's plan, and returns a [`broker::PrivateAnswer`];
-//!    [`consumer`] provides the client side, including the averaging
-//!    combinator adversaries use in arbitrage attacks (Eq. 4).
+//! 3. **The broker pipeline** (§II-A): every [`broker::DataBroker`]
+//!    entry point drives the staged [`pipeline`] session — Admit (price
+//!    quote, cache), Collect (sample top-up), Reserve (plan + two-phase
+//!    budget hold), Estimate, Perturb, Settle (commit, cache, ledger) —
+//!    and returns a [`broker::PrivateAnswer`]; [`consumer`] provides the
+//!    client side, including the averaging combinator adversaries use in
+//!    arbitrage attacks (Eq. 4).
 //!
-//! Pricing lives in the sibling crate `prc-pricing`; the two are glued
-//! together by the `prc` facade and examples.
+//! Pricing lives in the sibling crate `prc-pricing` and is wired into
+//! the broker through its [`prc_pricing::engine::PricingEngine`] seam:
+//! [`broker::DataBroker::answer_as`] quotes at admission and settles
+//! every released answer into the engine's ledger.
 //!
 //! ## Quick start
 //!
@@ -63,11 +67,13 @@ pub mod exact;
 pub mod histogram;
 pub mod monitor;
 pub mod optimizer;
+pub mod pipeline;
 pub mod quantile;
 pub mod query;
 
 pub use broker::{DataBroker, PrivateAnswer};
 pub use error::CoreError;
 pub use estimator::{BasicCounting, QueryIndex, RangeCountEstimator, RankCounting, RankIndex};
-pub use optimizer::{OptimizerConfig, PerturbationPlan, SensitivityPolicy};
+pub use optimizer::{OptimizerConfig, PerturbationPlan, PlanSummary, SensitivityPolicy};
+pub use pipeline::{PricedAnswer, QuerySession};
 pub use query::{Accuracy, QueryRequest, RangeQuery};

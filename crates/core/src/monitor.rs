@@ -175,9 +175,20 @@ impl ContinuousMonitor {
             self.config.seed ^ self.epoch,
         );
         let mut broker = DataBroker::new(network, self.config.seed ^ (self.epoch << 17));
-        let answer = broker.answer(&QueryRequest::new(self.config.query, self.config.accuracy))?;
-        // Charge the session before releasing.
-        self.accountant.spend(answer.plan.effective_epsilon)?;
+        // Thread the session accountant through the epoch broker: the
+        // pipeline's Reserve stage holds this epoch's effective ε′
+        // against it before any noise is drawn, and Settle commits the
+        // hold — nothing is released when the session cannot pay.
+        let session = std::mem::replace(
+            &mut self.accountant,
+            BudgetAccountant::new(self.config.session_budget),
+        );
+        broker.install_accountant(session);
+        let outcome = broker.answer(&QueryRequest::new(self.config.query, self.config.accuracy));
+        if let Some(session) = broker.take_accountant() {
+            self.accountant = session;
+        }
+        let answer = outcome?;
         let result = EpochResult {
             epoch: self.epoch,
             window_size: snapshot.len(),

@@ -152,6 +152,55 @@ impl PerturbationPlan {
     pub fn noise_variance(&self) -> f64 {
         2.0 * self.noise_scale * self.noise_scale
     }
+
+    /// The plan's release-facing digest: the one place the noise
+    /// variance, budgets, and scale are derived for consumers
+    /// (the broker's release stage and the pricing ledger's settlement
+    /// records both render this instead of re-deriving formulas).
+    pub fn summary(&self) -> PlanSummary {
+        PlanSummary {
+            epsilon: self.epsilon.value(),
+            effective_epsilon: self.effective_epsilon.value(),
+            sensitivity: self.sensitivity,
+            noise_scale: self.noise_scale,
+            noise_variance: self.noise_variance(),
+            probability: self.probability,
+        }
+    }
+}
+
+/// A `Display`/serde-friendly digest of a [`PerturbationPlan`]: the
+/// numbers a settlement record or log line needs, with the noise
+/// variance derived once from the plan's own scale.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PlanSummary {
+    /// Laplace budget `ε`.
+    pub epsilon: f64,
+    /// Effective (amplified) budget `ε′`.
+    pub effective_epsilon: f64,
+    /// Sensitivity `Δγ̂`.
+    pub sensitivity: f64,
+    /// Laplace noise scale `b`.
+    pub noise_scale: f64,
+    /// Noise variance `2b²`.
+    pub noise_variance: f64,
+    /// Sampling probability the plan assumes.
+    pub probability: f64,
+}
+
+impl std::fmt::Display for PlanSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ε={} ε′={} Δ={} b={} 2b²={} p={}",
+            self.epsilon,
+            self.effective_epsilon,
+            self.sensitivity,
+            self.noise_scale,
+            self.noise_variance,
+            self.probability
+        )
+    }
 }
 
 /// Resolves the sensitivity value for a policy.
@@ -645,5 +694,27 @@ mod tests {
         assert_eq!(shape.k, 2);
         assert_eq!(shape.n, 100);
         assert_eq!(shape.max_node_population, 70);
+    }
+
+    #[test]
+    fn plan_summary_is_consistent_with_the_plan() {
+        let plan = PerturbationPlan {
+            alpha_prime: 0.05,
+            delta_prime: 0.8,
+            epsilon: Epsilon::new(1.5).unwrap(),
+            effective_epsilon: Epsilon::new(0.9).unwrap(),
+            sensitivity: 2.5,
+            noise_scale: 2.5 / 1.5,
+            probability: 0.4,
+            tail_probability: 0.75,
+        };
+        let summary = plan.summary();
+        assert_eq!(summary.noise_variance, plan.noise_variance());
+        assert_eq!(summary.epsilon, 1.5);
+        assert_eq!(summary.effective_epsilon, 0.9);
+        assert_eq!(summary.probability, 0.4);
+        let rendered = summary.to_string();
+        assert!(rendered.contains("ε=1.5"));
+        assert!(rendered.contains("p=0.4"));
     }
 }

@@ -1,0 +1,208 @@
+//! The staged query pipeline every broker entry point runs through.
+//!
+//! One request, one [`QuerySession`], six stages:
+//!
+//! ```text
+//!  Admit ──► Collect ──► Reserve ──► Estimate ──► Perturb ──► Settle
+//!  quote     sample      plan +      index or     Laplace     commit,
+//!  cache     top-up      budget      scan         noise       cache,
+//!  checks                hold                                 ledger
+//!    │                      │                        │
+//!    └─ cached hit ─────────┼────────────────────────┼──────► Settle
+//!                           └─ any later failure ────┴──────► abort
+//!                                                             (rollback)
+//! ```
+//!
+//! The stage order differs from a naive reading in one deliberate way:
+//! **Collect runs before Reserve**. The effective budget `ε′` of an
+//! answer depends on the sampling probability actually achieved
+//! (privacy amplification, Theorem 3.2), so the perturbation plan — and
+//! therefore the amount to hold — can only be computed after the top-up.
+//! Holding a provisional amount before collecting would either over-hold
+//! (rejecting affordable queries) or change the committed arithmetic
+//! (breaking bit-compatibility with the pre-pipeline broker).
+//!
+//! Budgeting is two-phase: Reserve places a [`prc_dp::budget::Reservation`]
+//! hold, Settle commits it, and any failure between the two rolls it
+//! back through [`stages::abort`] — a failed noise draw can no longer
+//! leak budget the way the old single-phase `spend` did.
+//!
+//! Pricing rides the same stages: a priced session
+//! ([`QuerySession::for_buyer`]) quotes the demand at Admit — refusing
+//! invalid or arbitrageable demands before any budget or sample moves —
+//! and settles the sale (price, noise variance, rendered plan) into the
+//! engine's ledger at Settle.
+
+pub mod batch;
+pub mod stages;
+
+use prc_net::network::Network;
+
+use crate::broker::{DataBroker, PrivateAnswer};
+use crate::error::CoreError;
+use crate::estimator::RangeCountEstimator;
+use crate::query::{QueryRequest, RangeQuery};
+use prc_dp::budget::Epsilon;
+
+use stages::{
+    abort, Admission, Admit, AdmitFixed, Collect, Estimate, FixedAdmission, Perturb, Reserve,
+    ReserveFixed, Reserved, Settle,
+};
+
+/// A released answer plus the commercial half of its transaction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PricedAnswer {
+    /// The released private answer.
+    pub answer: PrivateAnswer,
+    /// The posted price quoted for the demand (priced sessions only).
+    pub price: Option<f64>,
+    /// The ledger sequence number of the settled sale (priced sessions
+    /// with an installed engine only).
+    pub settlement: Option<u64>,
+}
+
+/// One request's pass through the staged pipeline.
+///
+/// Constructed over a broker (plain, via [`QuerySession::new`], or on
+/// behalf of a named buyer via [`QuerySession::for_buyer`]) and consumed
+/// by one driver: [`QuerySession::run`] for `(α, δ)` demands,
+/// [`QuerySession::run_fixed`] for the fixed-ε experiment hook. The
+/// batch engine ([`batch::run_batch`]) composes the same stages with a
+/// per-tier schedule instead of using a session per request.
+#[derive(Debug)]
+pub struct QuerySession<'b, E, N> {
+    broker: &'b mut DataBroker<E, N>,
+    buyer: Option<&'b str>,
+}
+
+impl<'b, E: RangeCountEstimator, N: Network> QuerySession<'b, E, N> {
+    /// An unpriced session: no quote, no settlement.
+    pub fn new(broker: &'b mut DataBroker<E, N>) -> Self {
+        QuerySession {
+            broker,
+            buyer: None,
+        }
+    }
+
+    /// A priced session for `buyer`; requires the broker to have a
+    /// pricing engine installed for the quote/settle stages to engage.
+    pub fn for_buyer(broker: &'b mut DataBroker<E, N>, buyer: &'b str) -> Self {
+        QuerySession {
+            broker,
+            buyer: Some(buyer),
+        }
+    }
+
+    /// Drives an `(α, δ)` request through all six stages.
+    ///
+    /// # Errors
+    ///
+    /// Any stage's error; on a failure after Reserve the budget hold is
+    /// rolled back before the error propagates.
+    pub fn run(self, request: &QueryRequest) -> Result<PricedAnswer, CoreError> {
+        let broker = self.broker;
+        let admitted = match (Admit {
+            request,
+            buyer: self.buyer,
+        })
+        .run(broker)?
+        {
+            Admission::Cached { answer, quote } => {
+                return Ok(Settle {
+                    answer,
+                    reservation: None,
+                    quote,
+                    buyer: self.buyer,
+                }
+                .run(broker))
+            }
+            Admission::Fresh(admitted) => admitted,
+        };
+        let quote = admitted.quote;
+        Collect {
+            target_probability: admitted.target_probability,
+        }
+        .run(broker);
+        let Reserved { plan, reservation } = Reserve {
+            accuracy: admitted.request.accuracy,
+        }
+        .run(broker)?;
+        let estimated = Estimate {
+            query: admitted.request.query,
+        }
+        .run(broker);
+        let perturbed = Perturb {
+            query: admitted.request.query,
+            accuracy: Some(admitted.request.accuracy),
+            plan,
+            sample_estimate: estimated.sample_estimate,
+        }
+        .run(broker);
+        match perturbed {
+            Ok(answer) => Ok(Settle {
+                answer,
+                reservation,
+                quote,
+                buyer: self.buyer,
+            }
+            .run(broker)),
+            Err(e) => {
+                abort(broker, reservation);
+                Err(e)
+            }
+        }
+    }
+
+    /// Drives a fixed-ε request (the Fig. 5 / Fig. 6 experiment hook)
+    /// through the same stages, with the fixed-ε Admit/Reserve variants.
+    ///
+    /// # Errors
+    ///
+    /// Any stage's error; on a failure after Reserve the budget hold is
+    /// rolled back before the error propagates.
+    pub fn run_fixed(
+        self,
+        query: RangeQuery,
+        epsilon: Epsilon,
+        p: f64,
+    ) -> Result<PrivateAnswer, CoreError> {
+        let broker = self.broker;
+        match (AdmitFixed {
+            query,
+            epsilon,
+            probability: p,
+        })
+        .run(broker)?
+        {
+            FixedAdmission::Cached(answer) => return Ok(answer),
+            FixedAdmission::Fresh => {}
+        }
+        Collect {
+            target_probability: p,
+        }
+        .run(broker);
+        let Reserved { plan, reservation } = ReserveFixed { epsilon }.run(broker)?;
+        let estimated = Estimate { query }.run(broker);
+        let perturbed = Perturb {
+            query,
+            accuracy: None,
+            plan,
+            sample_estimate: estimated.sample_estimate,
+        }
+        .run(broker);
+        match perturbed {
+            Ok(answer) => Ok(Settle {
+                answer,
+                reservation,
+                quote: None,
+                buyer: None,
+            }
+            .run(broker)
+            .answer),
+            Err(e) => {
+                abort(broker, reservation);
+                Err(e)
+            }
+        }
+    }
+}

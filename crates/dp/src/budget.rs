@@ -73,8 +73,36 @@ impl From<Epsilon> for f64 {
     }
 }
 
+/// A two-phase hold on privacy budget, issued by
+/// [`BudgetAccountant::reserve`].
+///
+/// The held amount is excluded from [`BudgetAccountant::remaining`] until
+/// the reservation is resolved, either by
+/// [`BudgetAccountant::commit`] (the answer released — the hold becomes
+/// real spend) or [`BudgetAccountant::rollback`] (the answer failed — the
+/// hold is released and no ε is consumed). The token is deliberately
+/// neither `Copy` nor `Clone`, so each hold resolves exactly once.
+#[derive(Debug, PartialEq)]
+#[must_use = "an unresolved reservation holds budget forever; commit or roll it back"]
+pub struct Reservation {
+    amount: Epsilon,
+}
+
+impl Reservation {
+    /// The reserved budget.
+    pub fn amount(&self) -> Epsilon {
+        self.amount
+    }
+}
+
 /// Tracks privacy-budget spend against a total cap under sequential
 /// composition.
+///
+/// Spending is two-phase: [`BudgetAccountant::reserve`] places a hold
+/// that [`BudgetAccountant::commit`] converts into spend or
+/// [`BudgetAccountant::rollback`] releases. The one-shot
+/// [`BudgetAccountant::spend`] is reserve-then-commit in one call, for
+/// callers with no failure window between charging and releasing.
 ///
 /// # Examples
 ///
@@ -86,6 +114,12 @@ impl From<Epsilon> for f64 {
 /// accountant.spend(Epsilon::new(0.4)?)?;
 /// assert!((accountant.remaining().value() - 0.6).abs() < 1e-12);
 /// assert!(accountant.spend(Epsilon::new(0.7)?).is_err());
+///
+/// // Two-phase: a rolled-back hold costs nothing.
+/// let hold = accountant.reserve(Epsilon::new(0.5)?)?;
+/// assert!((accountant.remaining().value() - 0.1).abs() < 1e-12);
+/// accountant.rollback(hold);
+/// assert!((accountant.remaining().value() - 0.6).abs() < 1e-12);
 /// # Ok(())
 /// # }
 /// ```
@@ -93,6 +127,7 @@ impl From<Epsilon> for f64 {
 pub struct BudgetAccountant {
     total: Epsilon,
     spent: f64,
+    reserved: f64,
     operations: u64,
 }
 
@@ -102,6 +137,7 @@ impl BudgetAccountant {
         BudgetAccountant {
             total,
             spent: 0.0,
+            reserved: 0.0,
             operations: 0,
         }
     }
@@ -111,22 +147,66 @@ impl BudgetAccountant {
         self.total
     }
 
-    /// Budget spent so far.
+    /// Budget spent so far (committed only; outstanding holds excluded).
     pub fn spent(&self) -> Epsilon {
         Epsilon(self.spent)
     }
 
-    /// Budget still available.
-    pub fn remaining(&self) -> Epsilon {
-        Epsilon((self.total.0 - self.spent).max(0.0))
+    /// Budget held by outstanding reservations.
+    pub fn reserved(&self) -> Epsilon {
+        Epsilon(self.reserved)
     }
 
-    /// Number of successful spend operations.
+    /// Budget still available: the cap minus committed spend and
+    /// outstanding holds.
+    pub fn remaining(&self) -> Epsilon {
+        Epsilon((self.total.0 - self.spent - self.reserved).max(0.0))
+    }
+
+    /// Number of successful spend operations (commits count; rollbacks
+    /// don't).
     pub fn operations(&self) -> u64 {
         self.operations
     }
 
-    /// Attempts to spend `epsilon` from the remaining budget.
+    /// Places a hold on `epsilon` of the remaining budget.
+    ///
+    /// The hold counts against [`BudgetAccountant::remaining`] at once,
+    /// so concurrent-in-flight answers cannot jointly oversubscribe the
+    /// cap, but nothing is spent until [`BudgetAccountant::commit`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DpError::BudgetExhausted`] (and holds nothing) when the
+    /// request exceeds the remaining budget. A tiny tolerance (1e-12 of
+    /// the total) absorbs floating-point accumulation error.
+    pub fn reserve(&mut self, epsilon: Epsilon) -> Result<Reservation, DpError> {
+        let tolerance = 1e-12 * self.total.0.max(1.0);
+        if self.spent + self.reserved + epsilon.0 > self.total.0 + tolerance {
+            return Err(DpError::BudgetExhausted {
+                requested: epsilon.0,
+                remaining: self.remaining().0,
+            });
+        }
+        self.reserved += epsilon.0;
+        Ok(Reservation { amount: epsilon })
+    }
+
+    /// Converts a hold into committed spend. Infallible: the budget check
+    /// already happened at [`BudgetAccountant::reserve`] time.
+    pub fn commit(&mut self, reservation: Reservation) {
+        self.reserved = (self.reserved - reservation.amount.0).max(0.0);
+        self.spent += reservation.amount.0;
+        self.operations += 1;
+    }
+
+    /// Releases a hold without spending: the failed answer costs no ε.
+    pub fn rollback(&mut self, reservation: Reservation) {
+        self.reserved = (self.reserved - reservation.amount.0).max(0.0);
+    }
+
+    /// Attempts to spend `epsilon` from the remaining budget
+    /// (reserve-then-commit in one step).
     ///
     /// # Errors
     ///
@@ -134,15 +214,8 @@ impl BudgetAccountant {
     /// request exceeds the remaining budget. A tiny tolerance (1e-12 of
     /// the total) absorbs floating-point accumulation error.
     pub fn spend(&mut self, epsilon: Epsilon) -> Result<(), DpError> {
-        let tolerance = 1e-12 * self.total.0.max(1.0);
-        if self.spent + epsilon.0 > self.total.0 + tolerance {
-            return Err(DpError::BudgetExhausted {
-                requested: epsilon.0,
-                remaining: self.remaining().0,
-            });
-        }
-        self.spent += epsilon.0;
-        self.operations += 1;
+        let reservation = self.reserve(epsilon)?;
+        self.commit(reservation);
         Ok(())
     }
 
@@ -225,5 +298,60 @@ mod tests {
         let mut acc = BudgetAccountant::new(Epsilon::new(0.0).unwrap());
         acc.spend(Epsilon::new(0.0).unwrap()).unwrap();
         assert!(acc.is_exhausted());
+    }
+
+    #[test]
+    fn reserve_holds_budget_until_resolved() {
+        let mut acc = BudgetAccountant::new(Epsilon::new(1.0).unwrap());
+        let hold = acc.reserve(Epsilon::new(0.6).unwrap()).unwrap();
+        assert!((acc.reserved().value() - 0.6).abs() < 1e-12);
+        assert!((acc.remaining().value() - 0.4).abs() < 1e-12);
+        // Nothing is spent yet, and no operation is recorded.
+        assert_eq!(acc.spent().value(), 0.0);
+        assert_eq!(acc.operations(), 0);
+        // The hold counts against further reservations.
+        assert!(acc.reserve(Epsilon::new(0.5).unwrap()).is_err());
+        acc.commit(hold);
+        assert_eq!(acc.reserved().value(), 0.0);
+        assert!((acc.spent().value() - 0.6).abs() < 1e-12);
+        assert_eq!(acc.operations(), 1);
+    }
+
+    #[test]
+    fn rollback_restores_the_full_hold() {
+        let mut acc = BudgetAccountant::new(Epsilon::new(1.0).unwrap());
+        acc.spend(Epsilon::new(0.3).unwrap()).unwrap();
+        let hold = acc.reserve(Epsilon::new(0.5).unwrap()).unwrap();
+        assert!((acc.remaining().value() - 0.2).abs() < 1e-12);
+        acc.rollback(hold);
+        assert!((acc.remaining().value() - 0.7).abs() < 1e-12);
+        assert!((acc.spent().value() - 0.3).abs() < 1e-12);
+        assert_eq!(acc.operations(), 1, "rollbacks are not operations");
+        // The released budget is spendable again.
+        acc.spend(Epsilon::new(0.7).unwrap()).unwrap();
+        assert!(acc.is_exhausted());
+    }
+
+    #[test]
+    fn multiple_outstanding_reservations_compose() {
+        let mut acc = BudgetAccountant::new(Epsilon::new(1.0).unwrap());
+        let a = acc.reserve(Epsilon::new(0.4).unwrap()).unwrap();
+        let b = acc.reserve(Epsilon::new(0.4).unwrap()).unwrap();
+        assert!(acc.reserve(Epsilon::new(0.4).unwrap()).is_err());
+        acc.commit(a);
+        acc.rollback(b);
+        assert!((acc.spent().value() - 0.4).abs() < 1e-12);
+        assert!((acc.remaining().value() - 0.6).abs() < 1e-12);
+        assert_eq!(acc.reserved().value(), 0.0);
+    }
+
+    #[test]
+    fn spend_is_reserve_then_commit() {
+        let mut one_shot = BudgetAccountant::new(Epsilon::new(2.0).unwrap());
+        one_shot.spend(Epsilon::new(0.7).unwrap()).unwrap();
+        let mut two_phase = BudgetAccountant::new(Epsilon::new(2.0).unwrap());
+        let hold = two_phase.reserve(Epsilon::new(0.7).unwrap()).unwrap();
+        two_phase.commit(hold);
+        assert_eq!(one_shot, two_phase);
     }
 }

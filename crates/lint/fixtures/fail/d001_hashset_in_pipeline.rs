@@ -1,0 +1,10 @@
+// prc-lint-fixture: path = crates/core/src/pipeline/stages.rs
+//! An unordered set in the staged query pipeline: D001. The pipeline
+//! path set is deterministic — every stage's iteration order feeds the
+//! released bits.
+
+use std::collections::HashSet;
+
+pub fn seen_queries() -> HashSet<u64> {
+    HashSet::new()
+}

@@ -1,0 +1,8 @@
+// prc-lint-fixture: path = crates/core/src/pipeline/stages.rs
+//! Ordered sets keep the staged query pipeline reproducible.
+
+use std::collections::BTreeSet;
+
+pub fn seen_queries() -> BTreeSet<u64> {
+    BTreeSet::new()
+}

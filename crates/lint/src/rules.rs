@@ -81,6 +81,7 @@ mod scope {
         path == "crates/core/src/broker.rs"
             || path == "crates/core/src/optimizer.rs"
             || path.starts_with("crates/core/src/estimator/")
+            || path.starts_with("crates/core/src/pipeline/")
             || path == "crates/net/src/base_station.rs"
     }
 
@@ -416,6 +417,20 @@ mod tests {
             vec!["D001"]
         );
         assert!(lint_source("crates/pricing/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn pipeline_modules_are_deterministic_paths() {
+        let src = "use std::collections::HashMap;\n";
+        for file in ["mod.rs", "stages.rs", "batch.rs"] {
+            let path = format!("crates/core/src/pipeline/{file}");
+            assert_eq!(rules_of(&lint_source(&path, src)), vec!["D001"], "{path}");
+        }
+        let clock = "fn f() { let t = std::time::Instant::now(); }\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/core/src/pipeline/stages.rs", clock)),
+            vec!["D002"]
+        );
     }
 
     #[test]

@@ -143,6 +143,19 @@ pub trait Network {
     /// sampling probability to `target` and ships the new batch. Returns
     /// the number of sample entries that reached the base station.
     fn collect_samples(&mut self, target: f64) -> usize;
+
+    /// The collection-stage hook: tops the station up to `target` when
+    /// its effective probability lags, returning `Some(delivered)` for a
+    /// round that actually ran and `None` when the existing sample
+    /// already suffices. Consumers (the broker's Collect stage) treat a
+    /// `Some` as the start of a new collection epoch.
+    fn top_up(&mut self, target: f64) -> Option<usize> {
+        if self.station().effective_probability() < target {
+            Some(self.collect_samples(target.clamp(f64::MIN_POSITIVE, 1.0)))
+        } else {
+            None
+        }
+    }
 }
 
 /// The paper's flat network: `k` sensor nodes reporting directly to one

@@ -20,6 +20,19 @@ pub enum PricingError {
         /// The δ parameter as given.
         delta: f64,
     },
+    /// The attack simulator found an averaging bundle that undercuts the
+    /// posted price of the quoted demand; the engine refuses to sell at
+    /// an exploitable point (Definition 2.3).
+    ArbitrageDetected {
+        /// The α parameter of the refused demand.
+        alpha: f64,
+        /// The δ parameter of the refused demand.
+        delta: f64,
+        /// Posted price of the refused demand.
+        target_price: f64,
+        /// Cost of the cheapest undercut bundle the simulator found.
+        bundle_cost: f64,
+    },
 }
 
 impl fmt::Display for PricingError {
@@ -34,6 +47,16 @@ impl fmt::Display for PricingError {
             PricingError::InvalidAccuracy { alpha, delta } => write!(
                 f,
                 "accuracy parameters must lie in (0, 1), got alpha={alpha}, delta={delta}"
+            ),
+            PricingError::ArbitrageDetected {
+                alpha,
+                delta,
+                target_price,
+                bundle_cost,
+            } => write!(
+                f,
+                "demand (alpha={alpha}, delta={delta}) is arbitrageable: posted price \
+                 {target_price} undercut by a bundle costing {bundle_cost}"
             ),
         }
     }

@@ -15,6 +15,13 @@ pub struct TradeRecord {
     pub delta: f64,
     /// Price charged.
     pub price: f64,
+    /// Laplace noise variance of the released answer, when the sale was
+    /// settled through the broker pipeline (`None` for bare quotes
+    /// recorded without a released answer).
+    pub noise_variance: Option<f64>,
+    /// Rendered perturbation-plan summary of the released answer, when
+    /// settled through the broker pipeline.
+    pub plan: Option<String>,
 }
 
 /// An append-only ledger of sales with revenue accounting.
@@ -46,7 +53,34 @@ impl TradeLedger {
             alpha,
             delta,
             price,
+            noise_variance: None,
+            plan: None,
         });
+        sequence
+    }
+
+    /// Records one pipeline settlement — a sale carrying the released
+    /// answer's noise variance and plan summary — and returns its
+    /// sequence number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `price` is negative or not finite.
+    pub fn record_settlement(
+        &mut self,
+        buyer: &str,
+        alpha: f64,
+        delta: f64,
+        price: f64,
+        noise_variance: f64,
+        plan: &str,
+    ) -> u64 {
+        let sequence = self.record(buyer, alpha, delta, price);
+        // `record` pushed the entry; enrich it in place.
+        if let Some(entry) = self.records.last_mut() {
+            entry.noise_variance = Some(noise_variance);
+            entry.plan = Some(plan.to_owned());
+        }
         sequence
     }
 
@@ -122,5 +156,21 @@ mod tests {
     #[should_panic(expected = "price must be finite")]
     fn negative_price_panics() {
         TradeLedger::new().record("mallory", 0.1, 0.5, -1.0);
+    }
+
+    #[test]
+    fn settlements_carry_the_released_answer_metadata() {
+        let mut ledger = TradeLedger::new();
+        ledger.record("alice", 0.1, 0.8, 10.0);
+        let seq = ledger.record_settlement("bob", 0.05, 0.9, 25.0, 3.125, "ε=0.8 b=1.25");
+        assert_eq!(seq, 1);
+        let bare = &ledger.records()[0];
+        assert_eq!(bare.noise_variance, None);
+        assert_eq!(bare.plan, None);
+        let settled = &ledger.records()[1];
+        assert_eq!(settled.noise_variance, Some(3.125));
+        assert_eq!(settled.plan.as_deref(), Some("ε=0.8 b=1.25"));
+        // Settlements participate in revenue accounting like any sale.
+        assert!((ledger.total_revenue() - 35.0).abs() < 1e-12);
     }
 }

@@ -26,7 +26,10 @@
 //!   operationally (uniform and mixed bundles, equal-weight averaging);
 //! * [`reuse`] — the posted-curve guard deciding when a cached answer may
 //!   be re-served without undercutting the price curve;
-//! * [`ledger`] — trade bookkeeping for the broker.
+//! * [`ledger`] — trade bookkeeping for the broker;
+//! * [`engine`] — the [`engine::PricingEngine`] seam the broker's query
+//!   pipeline drives the whole transaction through (quote → release →
+//!   settle).
 //!
 //! ## Quick start
 //!
@@ -44,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod arbitrage;
+pub mod engine;
 pub mod error;
 pub mod functions;
 pub mod history;
@@ -54,6 +58,7 @@ pub mod theorem;
 pub mod variance;
 
 pub use arbitrage::{find_arbitrage, ArbitrageAttack, AttackConfig};
+pub use engine::{PostedPriceEngine, PricingEngine, Quote, Settlement};
 pub use error::PricingError;
 pub use functions::{
     InverseVariancePricing, LinearDeltaPricing, LogPrecisionPricing, PricingFunction,

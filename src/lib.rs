@@ -72,8 +72,9 @@ pub mod prelude {
     };
     pub use prc_core::histogram::{private_argmax_bucket, private_histogram, PrivateHistogram};
     pub use prc_core::optimizer::{
-        optimize, NetworkShape, OptimizerConfig, PerturbationPlan, SensitivityPolicy,
+        optimize, NetworkShape, OptimizerConfig, PerturbationPlan, PlanSummary, SensitivityPolicy,
     };
+    pub use prc_core::pipeline::{PricedAnswer, QuerySession};
     pub use prc_core::quantile::{private_quantile, private_quantiles, QuantileConfig};
     pub use prc_core::query::{Accuracy, QueryRequest, RangeQuery};
     pub use prc_core::CoreError;
@@ -92,6 +93,7 @@ pub mod prelude {
     pub use prc_net::network::{CostMeter, FlatNetwork, Network, ThreadedNetwork};
     pub use prc_net::tree::TreeNetwork;
     pub use prc_pricing::arbitrage::{certify, find_arbitrage, AttackConfig};
+    pub use prc_pricing::engine::{PostedPriceEngine, PricingEngine, Quote, Settlement};
     pub use prc_pricing::functions::{
         InverseVariancePricing, LinearDeltaPricing, LogPrecisionPricing, PricingFunction,
         SqrtPrecisionPricing,
