@@ -381,7 +381,9 @@ impl<E: RangeCountEstimator, N: Network> DataBroker<E, N> {
     /// * [`CoreError::NoSamples`] — the network delivered nothing (e.g.
     ///   every node dead).
     pub fn answer(&mut self, request: &QueryRequest) -> Result<PrivateAnswer, CoreError> {
-        QuerySession::new(self).run(request).map(|priced| priced.answer)
+        QuerySession::new(self)
+            .run(request)
+            .map(|priced| priced.answer)
     }
 
     /// Answers one request as a *priced transaction* for a named buyer.

@@ -96,7 +96,9 @@ impl Admit<'_> {
         if n == 0 {
             return Err(CoreError::NoSamples);
         }
-        let internal = broker.sampling_policy.internal_target(self.request.accuracy);
+        let internal = broker
+            .sampling_policy
+            .internal_target(self.request.accuracy);
         let target_probability = required_probability_clamped(internal, k, n)?;
         Ok(Admission::Fresh(Admitted {
             request: *self.request,
@@ -301,7 +303,9 @@ impl Estimate {
                 broker.counters.indexed_estimates += 1;
                 index.estimate(self.query)
             }
-            _ => broker.estimator.estimate(broker.network.station(), self.query),
+            _ => broker
+                .estimator
+                .estimate(broker.network.station(), self.query),
         };
         Estimated { sample_estimate }
     }
@@ -352,10 +356,11 @@ impl Perturb {
         shape: NetworkShape,
     ) -> Result<PrivateAnswer, CoreError> {
         let noise = draw_centered(self.plan.noise_scale, &mut broker.rng)?;
-        let variance_bound = broker
-            .estimator
-            .variance_bound(shape.k, shape.n, self.plan.probability)
-            + self.plan.noise_variance();
+        let variance_bound =
+            broker
+                .estimator
+                .variance_bound(shape.k, shape.n, self.plan.probability)
+                + self.plan.noise_variance();
         broker.counters.answers_released += 1;
         Ok(PrivateAnswer {
             query: self.query,

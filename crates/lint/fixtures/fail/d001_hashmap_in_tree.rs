@@ -1,0 +1,5 @@
+// prc-lint-fixture: path = crates/net/src/tree.rs
+//! An unordered map in the tree driver: D001. Aggregation order would
+//! depend on hashing, breaking byte-identity with the flat driver.
+
+use std::collections::HashMap;

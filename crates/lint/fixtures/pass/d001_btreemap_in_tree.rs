@@ -1,0 +1,8 @@
+// prc-lint-fixture: path = crates/net/src/tree.rs
+//! Ordered maps keep the tree driver byte-identical to flat.
+
+use std::collections::BTreeMap;
+
+pub fn routes() -> BTreeMap<u32, Vec<u32>> {
+    BTreeMap::new()
+}

@@ -83,6 +83,7 @@ mod scope {
             || path.starts_with("crates/core/src/estimator/")
             || path.starts_with("crates/core/src/pipeline/")
             || path == "crates/net/src/base_station.rs"
+            || path == "crates/net/src/tree.rs"
     }
 
     /// Library code subject to panic-hygiene rules: crate `src/` trees,
@@ -431,6 +432,24 @@ mod tests {
             rules_of(&lint_source("crates/core/src/pipeline/stages.rs", clock)),
             vec!["D002"]
         );
+    }
+
+    #[test]
+    fn tree_driver_is_a_deterministic_path() {
+        // The tree driver replays the flat round protocol and must stay
+        // byte-identical to it; unordered maps or wall-clock reads there
+        // would break the conformance kit's cross-driver guarantee.
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/net/src/tree.rs", src)),
+            vec!["D001"]
+        );
+        let clock = "fn f() { let t = std::time::Instant::now(); }\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/net/src/tree.rs", clock)),
+            vec!["D002"]
+        );
+        assert!(lint_source("crates/net/src/network.rs", src).is_empty());
     }
 
     #[test]

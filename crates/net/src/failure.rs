@@ -12,8 +12,22 @@
 //!   probability. Under [`LossMode::Retransmit`] the sender repeats until
 //!   delivery (extra cost, unchanged accuracy); under [`LossMode::Drop`]
 //!   the batch is silently gone (the node believes it shipped, so the
-//!   station's sample under-represents the node and the estimate biases
-//!   low).
+//!   station's sample under-represents the node and its per-node
+//!   estimate drifts toward the whole-population fallback).
+//!
+//! # Determinism across drivers
+//!
+//! Every random decision is keyed by `(seed, NodeId)`, not by the order
+//! in which the plan is consulted: each node owns an independent dropout
+//! draw and an independent loss stream, both derived from the plan seed
+//! and the node id by a SplitMix64-style mix. The *m*-th transmission
+//! decision for node *i* is therefore a pure function of
+//! `(seed, i, m)` — a threaded driver interleaving nodes arbitrarily,
+//! a flat driver iterating in id order, and a tree driver skipping
+//! cut-off subtrees all see identical failures for the nodes they
+//! actually ask about. The conformance kit
+//! ([`crate::conformance`]) relies on this to compare drivers
+//! byte-for-byte under one shared plan.
 
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
@@ -33,15 +47,29 @@ pub enum LossMode {
     Drop,
 }
 
-/// A deterministic, seeded failure schedule.
-#[derive(Debug)]
+/// Domain-separation salt for the per-node dropout draw.
+const DROPOUT_SALT: u64 = 0x5bd1_e995_9e37_79b9;
+/// Domain-separation salt for the per-node loss stream.
+const LOSS_SALT: u64 = 0x2545_f491_4f6c_dd1d;
+
+/// Mixes the plan seed and a node id into an independent stream seed.
+fn stream_seed(seed: u64, node_id: NodeId, salt: u64) -> u64 {
+    let mut z = seed ^ salt ^ u64::from(node_id.0).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A deterministic, seeded failure schedule with per-node randomness.
+#[derive(Debug, Clone)]
 pub struct FailurePlan {
     dropout_probability: f64,
     dead_nodes: BTreeSet<NodeId>,
     decided: BTreeMap<NodeId, bool>,
     message_loss_probability: f64,
     loss_mode: LossMode,
-    rng: StdRng,
+    seed: u64,
+    loss_streams: BTreeMap<NodeId, StdRng>,
 }
 
 impl FailurePlan {
@@ -53,12 +81,14 @@ impl FailurePlan {
     /// Creates a plan.
     ///
     /// * `dropout_probability` — chance that each node is dead for the
-    ///   whole simulation (decided once per node, lazily);
+    ///   whole simulation (an independent draw per node);
     /// * `message_loss_probability` — chance that each message
     ///   transmission attempt is lost;
     /// * `loss_mode` — what happens on loss;
-    /// * `seed` — RNG seed; the plan is deterministic given the seed and
-    ///   the order of queries.
+    /// * `seed` — RNG seed; every decision is a pure function of the
+    ///   seed, the node id, and that node's decision ordinal, so the
+    ///   plan is deterministic regardless of the order in which drivers
+    ///   consult it.
     ///
     /// # Panics
     ///
@@ -84,7 +114,8 @@ impl FailurePlan {
             decided: BTreeMap::new(),
             message_loss_probability,
             loss_mode,
-            rng: StdRng::seed_from_u64(seed),
+            seed,
+            loss_streams: BTreeMap::new(),
         }
     }
 
@@ -99,14 +130,16 @@ impl FailurePlan {
         self.loss_mode
     }
 
-    /// True when the node is dead. Decided once per node (lazily) and
-    /// cached, so repeated queries agree.
+    /// True when the node is dead. The draw is keyed by the node id (and
+    /// cached), so any driver asking about the same node gets the same
+    /// answer in any order.
     pub fn node_is_dead(&mut self, node_id: NodeId) -> bool {
         if let Some(&dead) = self.decided.get(&node_id) {
             return dead;
         }
-        let dead = self.dead_nodes.contains(&node_id)
-            || self.rng.random::<f64>() < self.dropout_probability;
+        let mut draw = StdRng::seed_from_u64(stream_seed(self.seed, node_id, DROPOUT_SALT));
+        let dead =
+            self.dead_nodes.contains(&node_id) || draw.random::<f64>() < self.dropout_probability;
         self.decided.insert(node_id, dead);
         if dead {
             self.dead_nodes.insert(node_id);
@@ -114,23 +147,29 @@ impl FailurePlan {
         dead
     }
 
-    /// Number of transmission attempts needed to deliver one message, or
-    /// `None` when the message is permanently dropped.
+    /// Number of transmission attempts needed to deliver one message from
+    /// `node_id`, or `None` when the message is permanently dropped.
     ///
     /// Under [`LossMode::Retransmit`] this is a geometric number of
     /// attempts (≥ 1); under [`LossMode::Drop`] it is `Some(1)` on
-    /// success and `None` on loss.
-    pub fn transmission_attempts(&mut self) -> Option<u32> {
+    /// success and `None` on loss. Draws come from a per-node stream, so
+    /// the *m*-th message of a node meets the same fate in every driver.
+    pub fn transmission_attempts(&mut self, node_id: NodeId) -> Option<u32> {
+        let seed = self.seed;
+        let stream = self
+            .loss_streams
+            .entry(node_id)
+            .or_insert_with(|| StdRng::seed_from_u64(stream_seed(seed, node_id, LOSS_SALT)));
         match self.loss_mode {
             LossMode::Retransmit => {
                 let mut attempts = 1;
-                while self.rng.random::<f64>() < self.message_loss_probability {
+                while stream.random::<f64>() < self.message_loss_probability {
                     attempts += 1;
                 }
                 Some(attempts)
             }
             LossMode::Drop => {
-                if self.rng.random::<f64>() < self.message_loss_probability {
+                if stream.random::<f64>() < self.message_loss_probability {
                     None
                 } else {
                     Some(1)
@@ -154,7 +193,7 @@ mod tests {
         let mut plan = FailurePlan::none();
         for i in 0..100 {
             assert!(!plan.node_is_dead(NodeId(i)));
-            assert_eq!(plan.transmission_attempts(), Some(1));
+            assert_eq!(plan.transmission_attempts(NodeId(i)), Some(1));
         }
     }
 
@@ -192,7 +231,7 @@ mod tests {
         let mut plan = FailurePlan::new(0.0, 0.5, LossMode::Retransmit, 9);
         let n = 20_000;
         let total: u64 = (0..n)
-            .map(|_| u64::from(plan.transmission_attempts().unwrap()))
+            .map(|_| u64::from(plan.transmission_attempts(NodeId(0)).unwrap()))
             .sum();
         // Mean attempts = 1/(1-loss) = 2.
         let mean = total as f64 / n as f64;
@@ -204,7 +243,7 @@ mod tests {
         let mut plan = FailurePlan::new(0.0, 0.4, LossMode::Drop, 11);
         let n = 20_000;
         let delivered = (0..n)
-            .filter(|_| plan.transmission_attempts().is_some())
+            .filter(|&i| plan.transmission_attempts(NodeId(i % 64)).is_some())
             .count();
         let rate = delivered as f64 / n as f64;
         assert!((rate - 0.6).abs() < 0.02, "delivery rate {rate}");
@@ -228,7 +267,57 @@ mod tests {
         let mut b = FailurePlan::new(0.2, 0.2, LossMode::Drop, 5);
         for i in 0..100 {
             assert_eq!(a.node_is_dead(NodeId(i)), b.node_is_dead(NodeId(i)));
-            assert_eq!(a.transmission_attempts(), b.transmission_attempts());
+            assert_eq!(
+                a.transmission_attempts(NodeId(i)),
+                b.transmission_attempts(NodeId(i))
+            );
+        }
+    }
+
+    #[test]
+    fn decisions_are_independent_of_query_order() {
+        // The same plan consulted forwards, backwards, and interleaved
+        // must hand every node the same fate — this is what lets the
+        // flat, threaded, and tree drivers share one plan seed.
+        let mut forward = FailurePlan::new(0.3, 0.3, LossMode::Drop, 77);
+        let mut backward = FailurePlan::new(0.3, 0.3, LossMode::Drop, 77);
+        let fwd_dead: Vec<bool> = (0..40).map(|i| forward.node_is_dead(NodeId(i))).collect();
+        let bwd_dead: Vec<bool> = (0..40)
+            .rev()
+            .map(|i| backward.node_is_dead(NodeId(i)))
+            .collect();
+        assert_eq!(
+            fwd_dead,
+            bwd_dead.into_iter().rev().collect::<Vec<_>>(),
+            "dropout must be keyed by node id, not call order"
+        );
+        // Two messages per node, consumed in different global orders.
+        let mut fwd_fates = Vec::new();
+        for i in 0..40 {
+            fwd_fates.push((
+                forward.transmission_attempts(NodeId(i)),
+                forward.transmission_attempts(NodeId(i)),
+            ));
+        }
+        let mut bwd_fates = vec![(None, None); 40];
+        for i in (0..40).rev() {
+            let first = backward.transmission_attempts(NodeId(i));
+            let second = backward.transmission_attempts(NodeId(i));
+            bwd_fates[i as usize] = (first, second);
+        }
+        assert_eq!(fwd_fates, bwd_fates, "loss streams must be per-node");
+    }
+
+    #[test]
+    fn cloned_plans_share_no_state() {
+        let mut a = FailurePlan::new(0.2, 0.5, LossMode::Retransmit, 3);
+        let mut b = a.clone();
+        for i in 0..20 {
+            assert_eq!(a.node_is_dead(NodeId(i)), b.node_is_dead(NodeId(i)));
+            assert_eq!(
+                a.transmission_attempts(NodeId(i)),
+                b.transmission_attempts(NodeId(i))
+            );
         }
     }
 }

@@ -21,8 +21,13 @@
 //!   implement the [`network::Network`] trait so generic consumers (the
 //!   `prc-core` broker) run unchanged over either;
 //! * [`tree`] — the "general tree model" extension: samples are forwarded
-//!   hop-by-hop to the root, multiplying communication cost by depth;
-//! * [`failure`] — node-dropout and message-loss injection.
+//!   hop-by-hop to the root, multiplying communication cost by depth; a
+//!   full [`network::Network`] driver since the conformance kit landed;
+//! * [`failure`] — node-dropout and message-loss injection, keyed by
+//!   `NodeId` so every driver sees identical failures for one seed;
+//! * [`conformance`] — the executable `Network` contract: a driver-generic
+//!   test kit any implementation must pass (see
+//!   `tests/driver_conformance.rs` and DESIGN.md §12).
 //!
 //! ## Quick start
 //!
@@ -41,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod base_station;
+pub mod conformance;
 pub mod energy;
 pub mod failure;
 pub mod message;
@@ -50,6 +56,8 @@ pub mod trace;
 pub mod tree;
 
 pub use base_station::{BaseStation, NodeSample};
+pub use conformance::{assert_drivers_agree, check_driver, ConformanceReport};
 pub use message::{Message, NodeId, SampleEntry, SampleMessage};
 pub use network::{CostMeter, FlatNetwork, Network, ThreadedNetwork};
 pub use node::SensorNode;
+pub use tree::TreeNetwork;

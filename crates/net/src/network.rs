@@ -115,17 +115,23 @@ impl CostMeter {
 
 /// A driver-agnostic view of a sampling network.
 ///
-/// Both [`FlatNetwork`] (single-threaded, one synchronous round per
-/// collection) and [`ThreadedNetwork`] (one OS thread per node, channel
-/// rounds) expose the same protocol surface: a population distributed
-/// over `k` nodes, a base station accumulating Bernoulli samples, and a
-/// [`CostMeter`] charging every message. Generic consumers — most
-/// importantly the broker in `prc-core` — are written against this trait
-/// so the same pipeline runs unchanged over either driver.
+/// All three drivers — [`FlatNetwork`] (single-threaded, one synchronous
+/// round per collection), [`ThreadedNetwork`] (one OS thread per node,
+/// channel rounds), and [`crate::tree::TreeNetwork`] (balanced d-ary
+/// aggregation tree, hop-multiplied costs) — expose the same protocol
+/// surface: a population distributed over `k` nodes, a base station
+/// accumulating Bernoulli samples, and a [`CostMeter`] charging every
+/// message. Generic consumers — most importantly the broker in
+/// `prc-core` — are written against this trait so the same pipeline runs
+/// unchanged over any driver.
 ///
 /// Implementations must be *deterministic in the seed*: for identical
 /// construction parameters, the station state after any sequence of
-/// [`Network::collect_samples`] calls must not depend on scheduling.
+/// [`Network::collect_samples`] calls must not depend on scheduling —
+/// and for one shared [`FailurePlan`] seed, every driver must see the
+/// same per-node failures. The executable form of this contract lives in
+/// [`crate::conformance`]; `tests/driver_conformance.rs` runs it against
+/// every driver.
 pub trait Network {
     /// Number of nodes (dead or alive).
     fn node_count(&self) -> usize;
@@ -138,6 +144,20 @@ pub trait Network {
 
     /// The cost meter charging this network's traffic.
     fn meter(&self) -> &CostMeter;
+
+    /// Installs a failure plan (replacing any previous plan); subsequent
+    /// rounds consult it for node dropout and message loss.
+    fn set_failure_plan(&mut self, plan: FailurePlan);
+
+    /// Attaches an event tracer; subsequent rounds emit
+    /// [`crate::trace::TraceEvent`]s into it.
+    fn set_tracer(&mut self, tracer: Tracer);
+
+    /// Exact global range count `γ(l, u, D)` — ground truth for
+    /// evaluation. Computed out of band (not metered, unaffected by
+    /// failure plans): evaluation harnesses need the truth even when the
+    /// simulated radios are lossy.
+    fn exact_range_count(&self, l: f64, u: f64) -> usize;
 
     /// Runs one collection round: every live node raises its cumulative
     /// sampling probability to `target` and ships the new batch. Returns
@@ -270,6 +290,10 @@ impl FlatNetwork {
     ///
     /// Panics if `target` is not in `(0, 1]`.
     pub fn collect_samples(&mut self, target: f64) -> usize {
+        assert!(
+            target > 0.0 && target <= 1.0,
+            "sampling probability must be in (0, 1], got {target}"
+        );
         let mut delivered = 0;
         for node in &mut self.nodes {
             if self.failure.node_is_dead(node.id()) {
@@ -297,7 +321,7 @@ impl FlatNetwork {
             }
             let batch = node.sample_to(target);
             let message = Message::Sample(batch.clone());
-            match self.failure.transmission_attempts() {
+            match self.failure.transmission_attempts(batch.node_id) {
                 Some(attempts) => {
                     self.meter.record(&message, 1, attempts);
                     delivered += batch.entries.len();
@@ -362,12 +386,35 @@ impl Network for FlatNetwork {
     fn collect_samples(&mut self, target: f64) -> usize {
         FlatNetwork::collect_samples(self, target)
     }
+
+    fn set_failure_plan(&mut self, plan: FailurePlan) {
+        FlatNetwork::set_failure_plan(self, plan);
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        FlatNetwork::set_tracer(self, tracer);
+    }
+
+    fn exact_range_count(&self, l: f64, u: f64) -> usize {
+        FlatNetwork::exact_range_count(self, l, u)
+    }
 }
 
 /// Commands sent to node worker threads.
 enum Command {
     SampleTo(f64),
+    ExactCount { lower: f64, upper: f64 },
     Shutdown,
+}
+
+/// Worker replies to the coordinator.
+enum Reply {
+    /// A sampling round's batch, plus whether the node's cumulative
+    /// probability actually lagged the target before sampling (the flat
+    /// protocol only charges a top-up request for lagging nodes).
+    Sample { lagged: bool, batch: SampleMessage },
+    /// One node's exact local range count.
+    Count { count: usize },
 }
 
 /// A threaded driver: one OS thread per node, crossbeam channels for both
@@ -377,14 +424,24 @@ enum Command {
 /// For the same construction parameters, the base-station state after
 /// [`ThreadedNetwork::collect_samples`] is identical to the flat driver's
 /// (each node owns an independent RNG seeded from the shared seed and the
-/// node id, so thread interleaving cannot change what is sampled).
+/// node id, so thread interleaving cannot change what is sampled). The
+/// same holds under a [`FailurePlan`]: workers sample concurrently, but
+/// failure decisions are keyed by `NodeId` and applied by the
+/// coordinator in node-id order, so dropout, loss, metering, and tracing
+/// replay the flat protocol exactly.
 #[derive(Debug)]
 pub struct ThreadedNetwork {
     command_txs: Vec<Sender<Command>>,
-    sample_rx: Receiver<SampleMessage>,
+    /// Replies from all workers funnel through one channel; the mutex
+    /// serializes multi-reply drains (e.g. two concurrent
+    /// [`ThreadedNetwork::exact_range_count`] calls) so replies cannot be
+    /// stolen across operations.
+    reply_rx: Mutex<Receiver<Reply>>,
     handles: Vec<std::thread::JoinHandle<()>>,
     station: BaseStation,
     meter: CostMeter,
+    failure: FailurePlan,
+    tracer: Option<Tracer>,
     node_count: usize,
     total_data_size: usize,
 }
@@ -399,24 +456,31 @@ impl ThreadedNetwork {
         assert!(!partitions.is_empty(), "network needs at least one node");
         let node_count = partitions.len();
         let total_data_size = partitions.iter().map(Vec::len).sum();
-        let (sample_tx, sample_rx) = unbounded::<SampleMessage>();
+        let (reply_tx, reply_rx) = unbounded::<Reply>();
         let mut command_txs = Vec::with_capacity(node_count);
         let mut handles = Vec::with_capacity(node_count);
 
         for (i, data) in partitions.into_iter().enumerate() {
             let (cmd_tx, cmd_rx) = unbounded::<Command>();
-            let sample_tx = sample_tx.clone();
+            let reply_tx = reply_tx.clone();
             let handle = std::thread::spawn(move || {
                 let mut node = SensorNode::new(NodeId(i as u32), data, seed);
                 while let Ok(command) = cmd_rx.recv() {
-                    match command {
+                    let reply = match command {
                         Command::SampleTo(p) => {
-                            let batch = node.sample_to(p);
-                            if sample_tx.send(batch).is_err() {
-                                break;
+                            let lagged = node.probability() < p;
+                            Reply::Sample {
+                                lagged,
+                                batch: node.sample_to(p),
                             }
                         }
+                        Command::ExactCount { lower, upper } => Reply::Count {
+                            count: node.exact_range_count(lower, upper),
+                        },
                         Command::Shutdown => break,
+                    };
+                    if reply_tx.send(reply).is_err() {
+                        break;
                     }
                 }
             });
@@ -426,13 +490,25 @@ impl ThreadedNetwork {
 
         ThreadedNetwork {
             command_txs,
-            sample_rx,
+            reply_rx: Mutex::new(reply_rx),
             handles,
             station: BaseStation::new(),
             meter: CostMeter::new(),
+            failure: FailurePlan::none(),
+            tracer: None,
             node_count,
             total_data_size,
         }
+    }
+
+    /// Installs a failure plan (replacing any previous plan).
+    pub fn set_failure_plan(&mut self, plan: FailurePlan) {
+        self.failure = plan;
+    }
+
+    /// Attaches an event tracer; subsequent rounds emit [`TraceEvent`]s.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
     }
 
     /// Number of nodes.
@@ -455,9 +531,42 @@ impl ThreadedNetwork {
         &self.meter
     }
 
-    /// Broadcasts a top-up to `target` and gathers every node's batch.
+    /// Exact global range count `γ(l, u, D)` — ground truth for
+    /// evaluation, computed by the workers in parallel and not metered.
     ///
-    /// Returns the number of sample entries received this round.
+    /// # Panics
+    ///
+    /// Panics if a worker thread has died.
+    pub fn exact_range_count(&self, l: f64, u: f64) -> usize {
+        // Hold the reply lock across the whole exchange so a concurrent
+        // caller cannot interleave its replies with ours.
+        let reply_rx = self.reply_rx.lock();
+        for tx in &self.command_txs {
+            tx.send(Command::ExactCount { lower: l, upper: u })
+                // prc-lint: allow(P002, reason = "worker lifetime is owned by this struct; a closed channel means a worker panicked and must be re-raised")
+                .expect("node worker thread died");
+        }
+        let mut total = 0;
+        for _ in 0..self.node_count {
+            let reply = reply_rx
+                .recv()
+                // prc-lint: allow(P002, reason = "worker lifetime is owned by this struct; a closed channel means a worker panicked and must be re-raised")
+                .expect("node worker thread died before replying");
+            match reply {
+                Reply::Count { count, .. } => total += count,
+                // prc-lint: allow(P003, reason = "sample replies are drained under the same lock by collect_samples (&mut self); one appearing here is protocol corruption and must be re-raised")
+                Reply::Sample { .. } => unreachable!("sample reply during exact count"),
+            }
+        }
+        total
+    }
+
+    /// Broadcasts a top-up to `target` and gathers every live node's
+    /// batch, replaying the flat driver's failure, metering, and tracing
+    /// protocol in node-id order.
+    ///
+    /// Returns the number of sample entries that reached the base
+    /// station this round.
     ///
     /// # Panics
     ///
@@ -468,27 +577,101 @@ impl ThreadedNetwork {
             target > 0.0 && target <= 1.0,
             "sampling probability must be in (0, 1], got {target}"
         );
+        // Fan out: dead nodes are never contacted; live nodes top up
+        // concurrently. Dropout draws are keyed by NodeId, so asking in
+        // id order here matches every other driver.
+        let mut commanded = 0;
         for (i, tx) in self.command_txs.iter().enumerate() {
-            let request = Message::TopUpRequest {
-                node_id: NodeId(i as u32),
-                target_probability: target,
-            };
-            self.meter.record(&request, 1, 1);
+            if self.failure.node_is_dead(NodeId(i as u32)) {
+                continue;
+            }
             tx.send(Command::SampleTo(target))
                 // prc-lint: allow(P002, reason = "worker lifetime is owned by this struct; a closed channel means a worker panicked and must be re-raised")
                 .expect("node worker thread died");
+            commanded += 1;
         }
+        // Gather: replies arrive in scheduling order; park them by id.
+        let mut replies: std::collections::BTreeMap<NodeId, (bool, SampleMessage)> =
+            std::collections::BTreeMap::new();
+        {
+            let reply_rx = self.reply_rx.lock();
+            for _ in 0..commanded {
+                let reply = reply_rx
+                    .recv()
+                    // prc-lint: allow(P002, reason = "worker lifetime is owned by this struct; a closed channel means a worker panicked and must be re-raised")
+                    .expect("node worker thread died before replying");
+                match reply {
+                    Reply::Sample { lagged, batch } => {
+                        replies.insert(batch.node_id, (lagged, batch));
+                    }
+                    // prc-lint: allow(P003, reason = "count replies are drained under the same lock by exact_range_count; one appearing here is protocol corruption and must be re-raised")
+                    Reply::Count { .. } => unreachable!("count reply during sampling round"),
+                }
+            }
+        }
+        // Settle in node-id order: identical event, metering, and loss
+        // sequence to FlatNetwork::collect_samples.
         let mut delivered = 0;
-        for _ in 0..self.node_count {
-            let batch = self
-                .sample_rx
-                .recv()
-                // prc-lint: allow(P002, reason = "worker lifetime is owned by this struct; a closed channel means a worker panicked and must be re-raised")
-                .expect("node worker thread died before replying");
+        for i in 0..self.node_count {
+            let id = NodeId(i as u32);
+            if self.failure.node_is_dead(id) {
+                if let Some(tracer) = &self.tracer {
+                    tracer.record(TraceEvent::NodeSilent { node: id });
+                }
+                continue;
+            }
+            let Some((lagged, batch)) = replies.remove(&id) else {
+                continue;
+            };
+            if !lagged {
+                continue;
+            }
+            let request = Message::TopUpRequest {
+                node_id: id,
+                target_probability: target,
+            };
+            self.meter.record(&request, 1, 1);
+            if let Some(tracer) = &self.tracer {
+                tracer.record(TraceEvent::TopUpRequested { node: id, target });
+            }
             let message = Message::Sample(batch.clone());
-            self.meter.record(&message, 1, 1);
-            delivered += batch.entries.len();
-            self.station.ingest(batch);
+            match self.failure.transmission_attempts(id) {
+                Some(attempts) => {
+                    self.meter.record(&message, 1, attempts);
+                    delivered += batch.entries.len();
+                    if let Some(tracer) = &self.tracer {
+                        tracer.record(TraceEvent::BatchDelivered {
+                            node: batch.node_id,
+                            entries: batch.entries.len(),
+                            attempts,
+                        });
+                    }
+                    self.station.ingest(batch);
+                }
+                None => {
+                    self.meter.record_lost(&message);
+                    if let Some(tracer) = &self.tracer {
+                        tracer.record(TraceEvent::BatchLost {
+                            node: batch.node_id,
+                            entries: batch.entries.len(),
+                        });
+                    }
+                    if self.failure.loss_mode() == LossMode::Drop {
+                        self.station.ingest(SampleMessage {
+                            entries: Vec::new(),
+                            ..batch
+                        });
+                    }
+                }
+            }
+        }
+        if let Some(tracer) = &self.tracer {
+            let round = tracer.next_round();
+            tracer.record(TraceEvent::RoundCompleted {
+                round,
+                target,
+                delivered,
+            });
         }
         delivered
     }
@@ -513,6 +696,18 @@ impl Network for ThreadedNetwork {
 
     fn collect_samples(&mut self, target: f64) -> usize {
         ThreadedNetwork::collect_samples(self, target)
+    }
+
+    fn set_failure_plan(&mut self, plan: FailurePlan) {
+        ThreadedNetwork::set_failure_plan(self, plan);
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        ThreadedNetwork::set_tracer(self, tracer);
+    }
+
+    fn exact_range_count(&self, l: f64, u: f64) -> usize {
+        ThreadedNetwork::exact_range_count(self, l, u)
     }
 }
 
@@ -737,5 +932,82 @@ mod tests {
     fn threaded_rejects_bad_probability() {
         let mut net = ThreadedNetwork::from_partitions(partitions(1, 10), 1);
         net.collect_samples(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in (0, 1]")]
+    fn flat_rejects_bad_probability() {
+        let mut net = FlatNetwork::from_partitions(partitions(1, 10), 1);
+        net.collect_samples(1.5);
+    }
+
+    #[test]
+    fn threaded_matches_flat_under_the_same_failure_plan() {
+        // Satellite regression for the old parity gap: the threaded
+        // driver used to silently ignore FailurePlan and Tracer.
+        let parts = partitions(10, 300);
+        let mk_plan = || {
+            let mut plan = FailurePlan::new(0.2, 0.3, LossMode::Drop, 31);
+            plan.kill_node(NodeId(4));
+            plan
+        };
+
+        let mut flat = FlatNetwork::from_partitions(parts.clone(), 55);
+        flat.set_failure_plan(mk_plan());
+        let flat_tracer = crate::trace::Tracer::new(256);
+        flat.set_tracer(flat_tracer.clone());
+        flat.collect_samples(0.3);
+        flat.collect_samples(0.7);
+
+        let mut threaded = ThreadedNetwork::from_partitions(parts, 55);
+        threaded.set_failure_plan(mk_plan());
+        let threaded_tracer = crate::trace::Tracer::new(256);
+        threaded.set_tracer(threaded_tracer.clone());
+        threaded.collect_samples(0.3);
+        threaded.collect_samples(0.7);
+
+        assert_eq!(
+            flat.station(),
+            threaded.station(),
+            "station state must be identical under one failure plan"
+        );
+        assert_eq!(flat.meter().snapshot(), threaded.meter().snapshot());
+        assert_eq!(
+            flat.meter().per_node_bytes(),
+            threaded.meter().per_node_bytes()
+        );
+        assert_eq!(
+            flat_tracer.events(),
+            threaded_tracer.events(),
+            "the two drivers must emit the same event sequence"
+        );
+    }
+
+    #[test]
+    fn threaded_exact_count_matches_flat() {
+        let parts = partitions(6, 150);
+        let flat = FlatNetwork::from_partitions(parts.clone(), 3);
+        let threaded = ThreadedNetwork::from_partitions(parts, 3);
+        assert_eq!(
+            flat.exact_range_count(100.0, 550.0),
+            threaded.exact_range_count(100.0, 550.0)
+        );
+        assert_eq!(threaded.exact_range_count(0.0, 1e9), 900);
+        // Ground truth is not metered.
+        assert_eq!(threaded.meter().snapshot(), CostSnapshot::default());
+    }
+
+    #[test]
+    fn threaded_repeat_rounds_meter_like_flat() {
+        // A round below the reached probability must move (and charge)
+        // nothing — the old driver charged every node every round.
+        let parts = partitions(4, 100);
+        let mut flat = FlatNetwork::from_partitions(parts.clone(), 8);
+        let mut threaded = ThreadedNetwork::from_partitions(parts, 8);
+        flat.collect_samples(0.6);
+        threaded.collect_samples(0.6);
+        assert_eq!(flat.collect_samples(0.2), 0);
+        assert_eq!(threaded.collect_samples(0.2), 0);
+        assert_eq!(flat.meter().snapshot(), threaded.meter().snapshot());
     }
 }

@@ -7,7 +7,10 @@
 //! * **sample forwarding** — each node's sample batch is relayed hop by
 //!   hop to the root, so its transmission cost is multiplied by the
 //!   node's depth; the base station ends up with exactly the same sample
-//!   state as in the flat model;
+//!   state as in the flat model. [`TreeNetwork`] implements
+//!   [`crate::network::Network`], so the broker pipeline in `prc-core`
+//!   runs unchanged over the tree model — only the cost meter sees the
+//!   topology;
 //! * **in-network exact aggregation** ([`TreeNetwork::aggregate_exact_count`]) —
 //!   the TAG-style baseline: each node computes its local exact count and
 //!   partial sums merge at interior nodes, costing one fixed-size message
@@ -15,10 +18,11 @@
 //!   paper's one-sample/many-queries design avoids.
 
 use crate::base_station::BaseStation;
-use crate::failure::FailurePlan;
-use crate::message::{Message, NodeId, MESSAGE_HEADER_BYTES};
-use crate::network::CostMeter;
+use crate::failure::{FailurePlan, LossMode};
+use crate::message::{Message, NodeId, SampleMessage, MESSAGE_HEADER_BYTES};
+use crate::network::{CostMeter, Network};
 use crate::node::SensorNode;
+use crate::trace::{TraceEvent, Tracer};
 
 /// Wire size of one partial-sum aggregation message.
 pub const AGGREGATE_MESSAGE_BYTES: usize = MESSAGE_HEADER_BYTES + 8;
@@ -49,6 +53,7 @@ pub struct TreeNetwork {
     station: BaseStation,
     meter: CostMeter,
     failure: FailurePlan,
+    tracer: Option<Tracer>,
 }
 
 impl TreeNetwork {
@@ -87,12 +92,18 @@ impl TreeNetwork {
             station: BaseStation::new(),
             meter: CostMeter::new(),
             failure: FailurePlan::none(),
+            tracer: None,
         }
     }
 
     /// Installs a failure plan (replacing any previous plan).
     pub fn set_failure_plan(&mut self, plan: FailurePlan) {
         self.failure = plan;
+    }
+
+    /// Attaches an event tracer; subsequent rounds emit [`TraceEvent`]s.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
     }
 
     /// Number of nodes.
@@ -138,7 +149,12 @@ impl TreeNetwork {
     ///
     /// Every live node whose entire path to the root is alive raises its
     /// sampling probability to `target`; its batch is charged once per
-    /// hop. Nodes cut off by a dead ancestor cannot deliver.
+    /// hop (and, under retransmission, once per attempt per hop). Nodes
+    /// cut off by a dead ancestor cannot deliver and are traced as
+    /// silent. A batch lost under [`LossMode::Drop`] dies on its first
+    /// link (one charged transmission); the node still registers its
+    /// population and probability claim with the station, exactly like
+    /// the flat driver.
     ///
     /// Returns the number of sample entries that reached the base station.
     ///
@@ -146,6 +162,10 @@ impl TreeNetwork {
     ///
     /// Panics if `target` is not in `(0, 1]`.
     pub fn collect_samples(&mut self, target: f64) -> usize {
+        assert!(
+            target > 0.0 && target <= 1.0,
+            "sampling probability must be in (0, 1], got {target}"
+        );
         let alive: Vec<bool> = (0..self.nodes.len())
             .map(|i| !self.failure.node_is_dead(NodeId(i as u32)))
             .collect();
@@ -155,7 +175,13 @@ impl TreeNetwork {
 
         let mut delivered = 0;
         for (i, node) in self.nodes.iter_mut().enumerate() {
-            if !connected[i] || node.probability() >= target {
+            if !connected[i] {
+                if let Some(tracer) = &self.tracer {
+                    tracer.record(TraceEvent::NodeSilent { node: node.id() });
+                }
+                continue;
+            }
+            if node.probability() >= target {
                 continue;
             }
             let hops = self.depth[i];
@@ -164,11 +190,51 @@ impl TreeNetwork {
                 target_probability: target,
             };
             self.meter.record(&request, hops, 1);
+            if let Some(tracer) = &self.tracer {
+                tracer.record(TraceEvent::TopUpRequested {
+                    node: node.id(),
+                    target,
+                });
+            }
             let batch = node.sample_to(target);
             let message = Message::Sample(batch.clone());
-            self.meter.record(&message, hops, 1);
-            delivered += batch.entries.len();
-            self.station.ingest(batch);
+            match self.failure.transmission_attempts(batch.node_id) {
+                Some(attempts) => {
+                    self.meter.record(&message, hops, attempts);
+                    delivered += batch.entries.len();
+                    if let Some(tracer) = &self.tracer {
+                        tracer.record(TraceEvent::BatchDelivered {
+                            node: batch.node_id,
+                            entries: batch.entries.len(),
+                            attempts,
+                        });
+                    }
+                    self.station.ingest(batch);
+                }
+                None => {
+                    self.meter.record_lost(&message);
+                    if let Some(tracer) = &self.tracer {
+                        tracer.record(TraceEvent::BatchLost {
+                            node: batch.node_id,
+                            entries: batch.entries.len(),
+                        });
+                    }
+                    if self.failure.loss_mode() == LossMode::Drop {
+                        self.station.ingest(SampleMessage {
+                            entries: Vec::new(),
+                            ..batch
+                        });
+                    }
+                }
+            }
+        }
+        if let Some(tracer) = &self.tracer {
+            let round = tracer.next_round();
+            tracer.record(TraceEvent::RoundCompleted {
+                round,
+                target,
+                delivered,
+            });
         }
         delivered
     }
@@ -211,6 +277,40 @@ impl TreeNetwork {
                 None => return true,
             }
         }
+    }
+}
+
+impl Network for TreeNetwork {
+    fn node_count(&self) -> usize {
+        TreeNetwork::node_count(self)
+    }
+
+    fn total_data_size(&self) -> usize {
+        TreeNetwork::total_data_size(self)
+    }
+
+    fn station(&self) -> &BaseStation {
+        TreeNetwork::station(self)
+    }
+
+    fn meter(&self) -> &CostMeter {
+        TreeNetwork::meter(self)
+    }
+
+    fn collect_samples(&mut self, target: f64) -> usize {
+        TreeNetwork::collect_samples(self, target)
+    }
+
+    fn set_failure_plan(&mut self, plan: FailurePlan) {
+        TreeNetwork::set_failure_plan(self, plan);
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        TreeNetwork::set_tracer(self, tracer);
+    }
+
+    fn exact_range_count(&self, l: f64, u: f64) -> usize {
+        TreeNetwork::exact_range_count(self, l, u)
     }
 }
 
@@ -296,6 +396,74 @@ mod tests {
         let (count, messages, _) = tree.aggregate_exact_count(0.0, 1_000.0);
         assert!(count < truth);
         assert_eq!(messages, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in (0, 1]")]
+    fn tree_rejects_bad_probability() {
+        let mut net = TreeNetwork::from_partitions(partitions(2, 10), 2, 1);
+        net.collect_samples(0.0);
+    }
+
+    #[test]
+    fn tree_matches_flat_under_the_same_failure_plan() {
+        // Leaf-only kills keep connectivity equal to liveness, so the
+        // tree must agree with the flat driver byte for byte.
+        let parts = partitions(7, 200);
+        let mk_plan = || {
+            let mut plan = FailurePlan::new(0.0, 0.3, LossMode::Drop, 23);
+            plan.kill_node(NodeId(5));
+            plan.kill_node(NodeId(6));
+            plan
+        };
+
+        let mut flat = crate::network::FlatNetwork::from_partitions(parts.clone(), 19);
+        flat.set_failure_plan(mk_plan());
+        let flat_tracer = Tracer::new(128);
+        flat.set_tracer(flat_tracer.clone());
+        flat.collect_samples(0.4);
+
+        let mut tree = TreeNetwork::from_partitions(parts, 2, 19);
+        tree.set_failure_plan(mk_plan());
+        let tree_tracer = Tracer::new(128);
+        tree.set_tracer(tree_tracer.clone());
+        tree.collect_samples(0.4);
+
+        assert_eq!(flat.station(), tree.station());
+        assert_eq!(flat_tracer.events(), tree_tracer.events());
+    }
+
+    #[test]
+    fn drop_mode_still_registers_population() {
+        let mut tree = TreeNetwork::from_partitions(partitions(30, 100), 2, 1);
+        tree.set_failure_plan(FailurePlan::new(0.0, 0.5, LossMode::Drop, 2));
+        tree.collect_samples(0.5);
+        let cost = tree.meter().snapshot();
+        assert!(cost.lost_messages > 0, "expected losses at 50%");
+        assert_eq!(tree.station().node_count(), 30);
+        assert_eq!(tree.station().total_population(), 3_000);
+        assert_eq!(cost.samples, tree.station().total_samples() as u64);
+    }
+
+    #[test]
+    fn per_node_bytes_scale_with_depth() {
+        // With no failures, every tree node ships the same batch as in
+        // the flat model, charged depth-many times.
+        let parts = partitions(7, 300);
+        let mut flat = crate::network::FlatNetwork::from_partitions(parts.clone(), 13);
+        flat.collect_samples(0.5);
+        let mut tree = TreeNetwork::from_partitions(parts, 2, 13);
+        tree.collect_samples(0.5);
+
+        let flat_bytes = flat.meter().per_node_bytes();
+        let tree_bytes = tree.meter().per_node_bytes();
+        for (i, (&flat_b, &tree_b)) in flat_bytes.values().zip(tree_bytes.values()).enumerate() {
+            assert_eq!(
+                tree_b,
+                flat_b * u64::from(tree.depth(i)),
+                "node {i} must be charged depth-many times its flat cost"
+            );
+        }
     }
 
     #[test]

@@ -212,8 +212,7 @@ mod tests {
     use crate::functions::{InverseVariancePricing, LinearDeltaPricing};
     use crate::variance::ChebyshevVariance;
 
-    fn engine() -> PostedPriceEngine<InverseVariancePricing<ChebyshevVariance>, ChebyshevVariance>
-    {
+    fn engine() -> PostedPriceEngine<InverseVariancePricing<ChebyshevVariance>, ChebyshevVariance> {
         let model = ChebyshevVariance::new(10_000);
         PostedPriceEngine::new(InverseVariancePricing::new(1e6, model), model)
     }

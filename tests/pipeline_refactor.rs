@@ -24,7 +24,10 @@ fn partitions(k: usize, per_node: usize) -> Vec<Vec<f64>> {
 }
 
 fn request(l: f64, u: f64, a: f64, d: f64) -> QueryRequest {
-    QueryRequest::new(RangeQuery::new(l, u).unwrap(), Accuracy::new(a, d).unwrap())
+    QueryRequest::new(
+        RangeQuery::new(l, u).expect("test range is valid"),
+        Accuracy::new(a, d).expect("test demand is valid"),
+    )
 }
 
 fn guard(n: usize) -> Box<dyn ReuseGuard> {
@@ -61,8 +64,7 @@ const GOLDEN_BATCH: [u64; 5] = [
 
 /// Pre-refactor bits: batched engine, no cache.
 /// Scenario: partitions(6, 700), network seed 9, broker seed 9.
-const GOLDEN_BATCH_NOCACHE: [u64; 3] =
-    [0x409ee18e2d273762, 0x40a0d5d8174fbb58, 0x40a31dc7f3a9131c];
+const GOLDEN_BATCH_NOCACHE: [u64; 3] = [0x409ee18e2d273762, 0x40a0d5d8174fbb58, 0x40a31dc7f3a9131c];
 
 /// Pre-refactor bits: fixed-ε hook interleaved with a demand answer.
 /// Scenario: partitions(5, 1000), network seed 5, broker seed 5.
@@ -118,6 +120,64 @@ fn sequential_answers_match_pre_refactor_bits_threaded() {
         .map(|r| broker.answer(r).unwrap().value.to_bits())
         .collect();
     assert_eq!(bits, GOLDEN_SEQ);
+}
+
+#[test]
+fn sequential_answers_match_pre_refactor_bits_tree() {
+    // The tree driver samples identically for the same seed, so broker
+    // answers over it must carry the exact pre-refactor bits — there is
+    // no per-driver special case anywhere in prc-core.
+    let net = TreeNetwork::from_partitions(partitions(10, 1_000), 2, 8);
+    let mut broker = DataBroker::new(net, 8);
+    let bits: Vec<u64> = seq_requests()
+        .iter()
+        .map(|r| broker.answer(r).unwrap().value.to_bits())
+        .collect();
+    assert_eq!(bits, GOLDEN_SEQ);
+}
+
+#[test]
+fn batched_answers_match_pre_refactor_bits_tree() {
+    let net = TreeNetwork::from_partitions(partitions(8, 700), 3, 21);
+    let mut broker = DataBroker::new(net, 21);
+    broker.enable_answer_cache(guard(5_600));
+    let report = broker.answer_batch(&batch_workload());
+    let bits: Vec<u64> = report
+        .answers
+        .iter()
+        .map(|r| r.as_ref().unwrap().value.to_bits())
+        .collect();
+    assert_eq!(bits, GOLDEN_BATCH);
+}
+
+#[test]
+fn tree_broker_costs_exceed_flat_by_the_depth_multiplier() {
+    // Identical answers (pinned above) — but the tree pays per hop:
+    // every node's byte bill is exactly depth × its flat-driver bill.
+    use prc::net::message::NodeId;
+
+    let mut flat_broker =
+        DataBroker::new(FlatNetwork::from_partitions(partitions(10, 1_000), 8), 8);
+    let mut tree_broker =
+        DataBroker::new(TreeNetwork::from_partitions(partitions(10, 1_000), 2, 8), 8);
+    for r in seq_requests() {
+        flat_broker.answer(&r).unwrap();
+        tree_broker.answer(&r).unwrap();
+    }
+    let flat_bytes = flat_broker.network().meter().per_node_bytes();
+    let tree_bytes = tree_broker.network().meter().per_node_bytes();
+    for i in 0..10u32 {
+        let depth = u64::from(tree_broker.network().depth(i as usize));
+        assert_eq!(
+            tree_bytes[&NodeId(i)],
+            flat_bytes[&NodeId(i)] * depth,
+            "node {i}: tree bytes must be exactly depth ({depth}) times flat bytes"
+        );
+    }
+    let flat_cost = flat_broker.network().meter().snapshot();
+    let tree_cost = tree_broker.network().meter().snapshot();
+    assert!(tree_cost.messages > flat_cost.messages);
+    assert_eq!(flat_cost.samples, tree_cost.samples);
 }
 
 #[test]
@@ -296,8 +356,10 @@ fn failed_releases_roll_their_budget_hold_back() {
     // draw — the exact spot where the old single-phase spend leaked ε.
     let mut broker = DataBroker::new(FlatNetwork::from_partitions(partitions(5, 1_000), 7), 7);
     broker.set_privacy_budget(Epsilon::new(4.0).unwrap());
-    let mut config = OptimizerConfig::default();
-    config.sensitivity = SensitivityPolicy::Fixed(-1.0);
+    let config = OptimizerConfig {
+        sensitivity: SensitivityPolicy::Fixed(-1.0),
+        ..Default::default()
+    };
     broker.set_optimizer_config(config);
     let q = RangeQuery::new(0.0, 2_500.0).unwrap();
     let err = broker.answer_with_epsilon(q, Epsilon::new(1.0).unwrap(), 0.4);
@@ -312,8 +374,10 @@ fn failed_releases_roll_their_budget_hold_back() {
     assert_eq!(accountant.reserved().value(), 0.0);
     assert_eq!(broker.counters().budget_rollbacks, 1);
     // The budget is genuinely intact: a valid request still succeeds.
-    let mut valid = OptimizerConfig::default();
-    valid.sensitivity = SensitivityPolicy::Expected;
+    let valid = OptimizerConfig {
+        sensitivity: SensitivityPolicy::Expected,
+        ..Default::default()
+    };
     broker.set_optimizer_config(valid);
     assert!(broker.answer(&request(0.0, 2_500.0, 0.1, 0.6)).is_ok());
 }
@@ -346,7 +410,10 @@ fn priced_end_to_end_transaction_settles_in_the_ledger() {
     assert_eq!(engine.ledger().len(), 1);
     let record = &engine.ledger().records()[0];
     assert_eq!(record.buyer, "alice");
-    assert_eq!(record.noise_variance, Some(priced.answer.plan.noise_variance()));
+    assert_eq!(
+        record.noise_variance,
+        Some(priced.answer.plan.noise_variance())
+    );
     assert_eq!(
         record.plan.as_deref(),
         Some(priced.answer.plan.summary().to_string().as_str())
@@ -380,8 +447,7 @@ fn arbitrageable_demands_are_refused_before_any_budget_moves() {
 fn unpriced_sessions_release_the_same_bits_as_priced_ones() {
     // Pricing is pure bookkeeping: it must not perturb the noise stream.
     let run = |priced: bool| {
-        let mut broker =
-            DataBroker::new(FlatNetwork::from_partitions(partitions(10, 1_000), 8), 8);
+        let mut broker = DataBroker::new(FlatNetwork::from_partitions(partitions(10, 1_000), 8), 8);
         if priced {
             let model = ChebyshevVariance::new(10_000);
             broker.enable_pricing(Box::new(PostedPriceEngine::new(
