@@ -385,6 +385,17 @@ fn main() {
         all_identical,
         "indexed estimates diverged from the scan path"
     );
+    // The amortized column must always be a usable number — the smoke CI
+    // job gates on this, so the field can never silently degenerate.
+    for cell in &cells {
+        let amortized = cell.speedup_amortized();
+        assert!(
+            amortized.is_finite() && amortized > 0.0,
+            "amortized speedup degenerated at k={} q={} (got {amortized})",
+            cell.nodes,
+            cell.queries,
+        );
+    }
     if !smoke() {
         for cell in &cells {
             if cell.nodes >= 16_384 && cell.queries >= 256 {
@@ -392,6 +403,19 @@ fn main() {
                 assert!(
                     speedup >= 5.0,
                     "index must be ≥5× faster per query at k={} q={} (got {speedup:.2}×)",
+                    cell.nodes,
+                    cell.queries,
+                );
+            }
+            // Once a batch is large enough to buy the build outright,
+            // the build-inclusive speedup must clear 1× — the regression
+            // bar the incremental index exists to extend down to small
+            // per-epoch batches (see bench_incremental).
+            if cell.nodes >= 16_384 && cell.queries >= 4_096 {
+                let amortized = cell.speedup_amortized();
+                assert!(
+                    amortized >= 1.0,
+                    "amortized speedup fell below 1× at k={} q={} (got {amortized:.2}×)",
                     cell.nodes,
                     cell.queries,
                 );

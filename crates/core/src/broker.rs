@@ -10,20 +10,26 @@
 //! serves repeat requests from an arbitrage-consistent answer cache
 //! guarded by the pricing layer ([`prc_pricing::reuse`]).
 //!
-//! # Epoch-scoped query index
+//! # Generational query index
 //!
 //! When the estimator offers a [`QueryIndex`] (RankCounting's
-//! [`crate::estimator::RankIndex`]), the broker builds it lazily once per
-//! *collection epoch* — the span between two sample-collection rounds —
-//! and answers every estimate in the epoch through it in `O(log S)`
-//! instead of the `O(k log s)` per-node walk. The index is invalidated
-//! whenever [`prc_net::network::Network::collect_samples`] runs and is
-//! revalidated against a station fingerprint before every use, so
-//! external mutation through [`DataBroker::network_mut`] can never serve
-//! stale answers. Stations below
-//! [`DataBroker::DEFAULT_INDEX_THRESHOLD`] total samples skip the build
-//! and use the direct scan; both paths are **bit-identical** by
-//! construction, so the cutover is unobservable in released answers.
+//! [`crate::estimator::SegmentedRankIndex`]), the broker maintains it as
+//! a *generation*: the index plus the station revision it was last
+//! synchronized with. A collection round no longer discards the index —
+//! before every use the slot is revalidated against the station's
+//! revision journal, and a drifted generation absorbs the exact
+//! changed-node delta ([`QueryIndex::absorb_delta`], `O(Δ log Δ)`)
+//! instead of rebuilding from scratch. External mutation through
+//! [`DataBroker::network_mut`] flows through the same journal, so a
+//! stale generation can never serve.
+//!
+//! Whether to pay for the first build is decided by the [`IndexPolicy`]:
+//! the default [`IndexPolicy::Adaptive`] runs a ski-rental accrual over
+//! the observed query traffic (build once the scanning it has paid for
+//! would have covered a build), while [`IndexPolicy::Threshold`] keeps
+//! the legacy fixed sample-count cutover. Indexed and scanned paths are
+//! **bit-identical** by construction, so the policy is unobservable in
+//! released answers.
 
 use std::collections::BTreeMap;
 
@@ -36,7 +42,7 @@ use prc_pricing::engine::PricingEngine;
 use prc_pricing::reuse::ReuseGuard;
 
 use crate::error::CoreError;
-use crate::estimator::{QueryIndex, RangeCountEstimator, RankCounting};
+use crate::estimator::{BuildAccrual, CostModel, QueryIndex, RangeCountEstimator, RankCounting};
 use crate::optimizer::{OptimizerConfig, PerturbationPlan};
 use crate::pipeline::{PricedAnswer, QuerySession};
 use crate::query::{Accuracy, QueryRequest, RangeQuery};
@@ -128,10 +134,20 @@ pub struct StageCounters {
     pub cache_misses: u64,
     /// Answers released (fresh and cached).
     pub answers_released: u64,
-    /// Query-index builds (at most one per collection epoch).
+    /// Query-index builds from scratch.
     pub index_builds: u64,
     /// Estimates answered through a query index instead of the scan.
     pub indexed_estimates: u64,
+    /// Collection deltas absorbed into a live index (each replacing what
+    /// would have been a full rebuild).
+    #[serde(default)]
+    pub delta_appends: u64,
+    /// Compaction steps the index applied while absorbing deltas.
+    #[serde(default)]
+    pub compactions: u64,
+    /// Gauge: live segments in the current index (`0` when none).
+    #[serde(default)]
+    pub segments_live: u64,
     /// Priced transactions settled into the pricing engine's ledger.
     pub settlements: u64,
     /// Budget reservations rolled back because a later stage failed.
@@ -185,24 +201,71 @@ pub(crate) type CacheKey = (u64, u64, u64);
 
 /// Snapshot of the station state a query index was built against: the
 /// uniform sampling probability (as exact bits, `None` when the station
-/// is heterogeneous) and the total sample count. Any state change a
-/// collection round — or an out-of-band [`DataBroker::network_mut`]
-/// mutation — can make to the answer of a query moves at least one of
-/// these, so a matching fingerprint certifies the index is current.
+/// is heterogeneous) and the total sample count. Used for the
+/// [`IndexState::Unavailable`] memo: while it matches, re-attempting a
+/// build at this station state is pointless.
 pub(crate) type IndexFingerprint = (Option<u64>, usize);
 
-/// The broker's per-epoch query-index slot.
+/// The delta lineage of a live index: the station state it was last
+/// synchronized with. `revision` is the station's journal counter —
+/// every mutation flows through [`prc_net::base_station::BaseStation::ingest`],
+/// so an unchanged revision certifies byte-identical sample state, and a
+/// drifted one names the exact changed-node delta to absorb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct IndexGeneration {
+    pub fingerprint: IndexFingerprint,
+    pub revision: u64,
+}
+
+/// The broker's generational query-index slot.
 #[derive(Debug, Default)]
 pub(crate) enum IndexState {
-    /// No index and no knowledge of the station (initial state, and the
-    /// state after every collection round).
+    /// No index and no knowledge of the station (initial state).
     #[default]
     Stale,
     /// The station was inspected at this fingerprint and no index could
-    /// (or should) be built; don't retry until the station changes.
+    /// be built; don't retry until the station changes.
     Unavailable(IndexFingerprint),
-    /// A live index built at this fingerprint.
-    Ready(IndexFingerprint, Box<dyn QueryIndex>),
+    /// A live index synchronized with this generation. On revision
+    /// drift the index absorbs the delta and the generation advances —
+    /// the index is discarded only when absorption is impossible.
+    Ready(IndexGeneration, Box<dyn QueryIndex>),
+}
+
+/// When the broker pays for a query-index build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexPolicy {
+    /// Ski-rental: keep scanning while accruing the per-query saving an
+    /// index would have delivered; build once the foregone saving covers
+    /// the build cost (2-competitive for any query arrival sequence).
+    /// The decision depends only on observed query counts and the
+    /// station's shape — never on wall-clock time.
+    Adaptive(CostModel),
+    /// Legacy fixed cutover: build whenever the station holds at least
+    /// this many samples (`0` always builds, `usize::MAX` never).
+    Threshold(usize),
+}
+
+impl Default for IndexPolicy {
+    fn default() -> Self {
+        IndexPolicy::Adaptive(CostModel::default())
+    }
+}
+
+/// A detached query index plus the full station state it was
+/// synchronized with, for threading across brokers (e.g. the continuous
+/// monitor's per-epoch brokers).
+///
+/// Revision counters are per-station-instance and not comparable across
+/// brokers, so a handle carries the *entire* station as its fingerprint:
+/// adoption requires the candidate broker's station to compare equal,
+/// structurally — samples, populations, probabilities, and journal. That
+/// is the strongest honest key; anything weaker could adopt an index for
+/// a station it does not describe.
+#[derive(Debug)]
+pub struct IndexCacheHandle {
+    pub(crate) station: prc_net::base_station::BaseStation,
+    pub(crate) index: Box<dyn QueryIndex>,
 }
 
 /// The data broker: answers `Λ(α, δ)` requests over any [`Network`].
@@ -234,7 +297,9 @@ pub struct DataBroker<E = RankCounting, N = FlatNetwork> {
     pub(crate) cache: BTreeMap<CacheKey, PrivateAnswer>,
     pub(crate) counters: StageCounters,
     pub(crate) index: IndexState,
-    pub(crate) index_threshold: usize,
+    pub(crate) index_policy: IndexPolicy,
+    pub(crate) build_accrual: BuildAccrual,
+    pub(crate) pending_index: Option<IndexCacheHandle>,
 }
 
 impl<N: Network> DataBroker<RankCounting, N> {
@@ -259,25 +324,59 @@ impl<E: RangeCountEstimator, N: Network> DataBroker<E, N> {
             cache: BTreeMap::new(),
             counters: StageCounters::default(),
             index: IndexState::Stale,
-            index_threshold: Self::DEFAULT_INDEX_THRESHOLD,
+            index_policy: IndexPolicy::default(),
+            build_accrual: BuildAccrual::default(),
+            pending_index: None,
         }
     }
 
-    /// Stations below this many total samples skip the query-index build:
-    /// the per-node scan is already cheap there and the `O(S log S)`
-    /// build would never amortize.
-    pub const DEFAULT_INDEX_THRESHOLD: usize = 512;
-
-    /// Sets the minimum total sample count at which the broker builds a
-    /// query index (`0` always tries, `usize::MAX` disables indexing).
-    pub fn set_index_threshold(&mut self, threshold: usize) {
-        self.index_threshold = threshold;
+    /// Replaces the index build policy (resetting the slot and any
+    /// accrued build credit).
+    pub fn set_index_policy(&mut self, policy: IndexPolicy) {
+        self.index_policy = policy;
+        self.build_accrual = BuildAccrual::default();
         self.index = IndexState::Stale;
     }
 
-    /// The current index threshold.
-    pub fn index_threshold(&self) -> usize {
-        self.index_threshold
+    /// The current index build policy.
+    pub fn index_policy(&self) -> IndexPolicy {
+        self.index_policy
+    }
+
+    /// Compatibility shim for the pre-cost-model API: installs
+    /// [`IndexPolicy::Threshold`] at the given sample count (`0` always
+    /// builds, `usize::MAX` disables indexing). New code should use
+    /// [`DataBroker::set_index_policy`]; the adaptive default needs no
+    /// tuning.
+    pub fn set_index_threshold(&mut self, threshold: usize) {
+        self.set_index_policy(IndexPolicy::Threshold(threshold));
+    }
+
+    /// Detaches the current index (if one is live) together with a full
+    /// clone of the station it answers for, so a coordinator can offer
+    /// it to another broker over the same data via
+    /// [`DataBroker::install_index_cache`]. The slot reverts to
+    /// [`IndexState::Stale`].
+    pub fn take_index_cache(&mut self) -> Option<IndexCacheHandle> {
+        match std::mem::replace(&mut self.index, IndexState::Stale) {
+            IndexState::Ready(_, index) => Some(IndexCacheHandle {
+                station: self.network.station().clone(),
+                index,
+            }),
+            other => {
+                self.index = other;
+                None
+            }
+        }
+    }
+
+    /// Offers a detached index to this broker. The handle is held until
+    /// the broker's station structurally equals the handle's — at which
+    /// point the index is adopted in place of a fresh build (it is
+    /// bit-identical by the [`QueryIndex`] contract). A handle that
+    /// never matches is simply never used.
+    pub fn install_index_cache(&mut self, handle: IndexCacheHandle) {
+        self.pending_index = Some(handle);
     }
 
     /// Replaces the optimizer configuration.
@@ -796,35 +895,148 @@ mod tests {
     }
 
     #[test]
-    fn collection_rounds_invalidate_the_index() {
+    fn collection_rounds_absorb_into_the_index() {
         let mut broker = DataBroker::new(network(5, 2_000, 7), 7);
         broker.set_index_threshold(0);
         broker.answer(&request(0.0, 10_000.0, 0.2, 0.5)).unwrap();
         let after_first = broker.counters();
         assert_eq!(after_first.index_builds, 1);
+        assert!(after_first.segments_live >= 1);
         // Same epoch: a second loose query reuses the built index.
         broker.answer(&request(0.0, 4_000.0, 0.2, 0.5)).unwrap();
         assert_eq!(broker.counters().index_builds, 1);
         assert_eq!(broker.counters().indexed_estimates, 2);
-        // A stricter query forces a top-up, which must rebuild.
+        // A stricter query forces a top-up; the index absorbs the round's
+        // delta instead of rebuilding from scratch.
         broker.answer(&request(0.0, 10_000.0, 0.03, 0.9)).unwrap();
         let after_strict = broker.counters();
         assert!(after_strict.collection_rounds > after_first.collection_rounds);
-        assert_eq!(after_strict.index_builds, 2);
+        assert_eq!(after_strict.index_builds, 1, "delta absorbed, not rebuilt");
+        assert!(after_strict.delta_appends >= 1);
+        assert_eq!(after_strict.indexed_estimates, 3);
+        assert!(after_strict.segments_live >= 1);
     }
 
     #[test]
     fn small_stations_stay_on_the_scan_path() {
-        // Default threshold (512 samples) far exceeds what this tiny
-        // network can deliver, so no index is ever built.
+        // The adaptive default is a ski-rental: a lone query over a tiny
+        // station never accrues enough foregone scan cost to pay for a
+        // build, so the broker stays on the scan path.
         let mut broker = DataBroker::new(network(3, 50, 9), 9);
-        assert_eq!(
-            broker.index_threshold(),
-            DataBroker::<RankCounting, FlatNetwork>::DEFAULT_INDEX_THRESHOLD
-        );
+        assert!(matches!(broker.index_policy(), IndexPolicy::Adaptive(_)));
         broker.answer(&request(0.0, 100.0, 0.2, 0.5)).unwrap();
         assert_eq!(broker.counters().index_builds, 0);
         assert_eq!(broker.counters().indexed_estimates, 0);
+        assert_eq!(broker.counters().segments_live, 0);
+    }
+
+    #[test]
+    fn adaptive_policy_buys_the_index_once_queries_amortize_it() {
+        // Wide fan-out makes the per-query scan saving large relative to
+        // the one-off build cost, so a big batch pays for the index up
+        // front under the default cost model.
+        let req = request(0.0, 10_000.0, 0.2, 0.5);
+        let mut broker = DataBroker::new(network(64, 100, 13), 13);
+        broker.answer(&req).unwrap();
+        assert_eq!(broker.counters().index_builds, 0, "one query rents");
+        let report = broker.answer_batch(&vec![req; 256]);
+        assert!(report.answers.iter().all(Result::is_ok));
+        assert_eq!(broker.counters().index_builds, 1, "a batch buys");
+        assert!(broker.counters().indexed_estimates >= 256);
+        assert!(broker.counters().segments_live >= 1);
+    }
+
+    #[test]
+    fn twin_brokers_adopt_a_detached_index_instead_of_rebuilding() {
+        let req = request(0.0, 4_000.0, 0.15, 0.5);
+        let run = |adopt: Option<IndexCacheHandle>| {
+            let mut broker = DataBroker::new(network(6, 800, 21), 21);
+            broker.set_index_threshold(0);
+            if let Some(handle) = adopt {
+                broker.install_index_cache(handle);
+            }
+            let bits = broker.answer(&req).unwrap().value.to_bits();
+            (bits, broker.counters())
+        };
+        // A donor over the identical network builds once, then detaches
+        // its index together with the station it answers for.
+        let mut donor = DataBroker::new(network(6, 800, 21), 21);
+        donor.set_index_threshold(0);
+        donor.answer(&req).unwrap();
+        let handle = donor.take_index_cache().expect("donor built an index");
+        assert!(donor.take_index_cache().is_none(), "slot reverts to stale");
+
+        let (fresh_bits, fresh) = run(None);
+        let (adopted_bits, adopted) = run(Some(handle));
+        assert_eq!(adopted_bits, fresh_bits, "adoption changed released bits");
+        assert_eq!(fresh.index_builds, 1);
+        assert_eq!(adopted.index_builds, 0, "handle adopted, build skipped");
+        assert_eq!(adopted.indexed_estimates, 1);
+        assert!(adopted.segments_live >= 1);
+    }
+
+    #[test]
+    fn mismatched_index_handles_are_never_adopted() {
+        let req = request(0.0, 4_000.0, 0.15, 0.5);
+        let mut donor = DataBroker::new(network(6, 800, 21), 21);
+        donor.set_index_threshold(0);
+        donor.answer(&req).unwrap();
+        let handle = donor.take_index_cache().expect("donor built an index");
+        // A different seed collects a different station, so the handle's
+        // fingerprint never matches and the broker builds for itself.
+        let mut other = DataBroker::new(network(6, 800, 22), 22);
+        other.set_index_threshold(0);
+        other.install_index_cache(handle);
+        other.answer(&req).unwrap();
+        assert_eq!(other.counters().index_builds, 1);
+    }
+
+    #[test]
+    fn collection_deltas_evict_only_touched_cached_answers() {
+        let mut broker = DataBroker::new(network(6, 800, 31), 31);
+        broker.enable_answer_cache(guard(4_800));
+        let touched = request(0.0, 4_000.0, 0.2, 0.5);
+        let untouched = request(-10.0, -1.0, 0.2, 0.5);
+        let first_touched = broker.answer(&touched).unwrap();
+        let first_untouched = broker.answer(&untouched).unwrap();
+        assert_eq!(broker.cached_answers(), 2);
+
+        // A stricter query forces a top-up: every node's fresh samples
+        // overlap the data's value range, so the in-range answer is
+        // evicted while the below-support one survives the epoch.
+        broker.answer(&request(0.0, 4_800.0, 0.03, 0.9)).unwrap();
+        let second_untouched = broker.answer(&untouched).unwrap();
+        assert_eq!(
+            second_untouched.value.to_bits(),
+            first_untouched.value.to_bits(),
+            "untouched range must survive as a cache hit"
+        );
+        assert_eq!(broker.counters().cache_hits, 1);
+        let second_touched = broker.answer(&touched).unwrap();
+        assert_ne!(
+            second_touched.value.to_bits(),
+            first_touched.value.to_bits(),
+            "touched range must be re-answered fresh"
+        );
+        assert_eq!(broker.counters().cache_hits, 1);
+    }
+
+    #[test]
+    fn surviving_cache_hits_stay_budget_free_across_rounds() {
+        let mut broker = DataBroker::new(network(6, 800, 37), 37);
+        broker.enable_answer_cache(guard(4_800));
+        let untouched = request(-10.0, -1.0, 0.2, 0.5);
+        let first = broker.answer(&untouched).unwrap();
+        broker.answer(&request(0.0, 4_800.0, 0.03, 0.9)).unwrap();
+
+        // Budget accounting is unchanged by eviction: the surviving
+        // answer is re-served as post-processing, spending nothing even
+        // against a budget too small for a fresh release.
+        broker
+            .set_privacy_budget(Epsilon::new(first.plan.effective_epsilon.value() * 0.1).unwrap());
+        let replay = broker.answer(&untouched).unwrap();
+        assert_eq!(replay.value.to_bits(), first.value.to_bits());
+        assert_eq!(broker.accountant().unwrap().operations(), 0);
     }
 
     #[test]

@@ -1,0 +1,188 @@
+//! Deterministic size-tiered compaction for the segmented index.
+//!
+//! The policy is a **pure function of segment sizes** — no wall clock,
+//! no randomness, no I/O (prc-lint D001–D003 apply to this module like
+//! any other deterministic answer path). Two runs over the same station
+//! history therefore compact identically, which keeps the segmented
+//! index's internal layout — and its counters — reproducible across
+//! drivers and machines.
+//!
+//! Three rules, checked in priority order:
+//!
+//! 1. **Drop** — a segment with no live *members* is pure overhead (a
+//!    live member with zero entries still carries population, so entry
+//!    counts alone cannot justify a drop);
+//! 2. **Rewrite** — a segment whose tombstoned entries outnumber its
+//!    live ones pays more per query (snapshot subtraction) than a
+//!    rebuild costs amortized; rebuild it from its live members only;
+//! 3. **MergeTail** — size-tiered: the newest segments are merged while
+//!    each predecessor is within `fanout ×` of the accumulated tail, a
+//!    binary-counter scheme that bounds the live segment count to
+//!    `O(log_fanout S)` and the total merge work to `O(S log S)`
+//!    amortized over any append sequence.
+
+/// Live/dead entry counts of one segment, oldest-first, as the policy
+/// sees them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentStats {
+    /// Entries owned by live members.
+    pub live: usize,
+    /// Entries owned by tombstoned members.
+    pub dead: usize,
+    /// Members not yet tombstoned. A member can be live with zero
+    /// entries — a node whose sample drew nothing still contributes its
+    /// population to the A-term — so emptiness of `live` alone must
+    /// never drop a segment.
+    pub live_members: usize,
+}
+
+/// One compaction step; the maintainer applies steps until the policy
+/// returns `None` (a fixpoint, reached because every step removes a
+/// segment or zeroes a dead count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompactionStep {
+    /// Remove segment `i` outright (no live entries).
+    Drop(usize),
+    /// Rebuild segment `i` from its live members only.
+    Rewrite(usize),
+    /// Merge the newest `count` segments (`count ≥ 2`) into one.
+    MergeTail(usize),
+}
+
+/// The deterministic size-tiered policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionPolicy {
+    /// Size-tier ratio: a predecessor within `fanout ×` of the
+    /// accumulated tail is absorbed into the merge.
+    pub fanout: usize,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        CompactionPolicy { fanout: 2 }
+    }
+}
+
+impl CompactionPolicy {
+    /// Plans the next step for segments with the given stats
+    /// (oldest-first), or `None` at the fixpoint.
+    ///
+    /// Pure: the plan depends only on `stats` and the policy's `fanout`.
+    pub fn plan(&self, stats: &[SegmentStats]) -> Option<CompactionStep> {
+        for (i, s) in stats.iter().enumerate() {
+            if s.live_members == 0 {
+                return Some(CompactionStep::Drop(i));
+            }
+        }
+        for (i, s) in stats.iter().enumerate() {
+            if s.dead > 0 && s.dead >= s.live {
+                return Some(CompactionStep::Rewrite(i));
+            }
+        }
+        let n = stats.len();
+        if n >= 2 {
+            let mut tail = stats[n - 1].live;
+            let mut j = n - 1;
+            while j > 0 && stats[j - 1].live <= self.fanout.saturating_mul(tail) {
+                tail += stats[j - 1].live;
+                j -= 1;
+            }
+            if n - j >= 2 {
+                return Some(CompactionStep::MergeTail(n - j));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(live: usize, dead: usize) -> SegmentStats {
+        SegmentStats {
+            live,
+            dead,
+            live_members: usize::from(live > 0),
+        }
+    }
+
+    /// A segment whose only live members drew zero entries: carries
+    /// population but no values.
+    fn population_only() -> SegmentStats {
+        SegmentStats {
+            live: 0,
+            dead: 0,
+            live_members: 1,
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_layouts_are_stable() {
+        let policy = CompactionPolicy::default();
+        assert_eq!(policy.plan(&[]), None);
+        assert_eq!(policy.plan(&[s(100, 0)]), None);
+        assert_eq!(policy.plan(&[s(100, 40)]), None, "dead < live keeps");
+    }
+
+    #[test]
+    fn fully_dead_segments_drop_first() {
+        let policy = CompactionPolicy::default();
+        assert_eq!(
+            policy.plan(&[s(10, 0), s(0, 7), s(10, 10)]),
+            Some(CompactionStep::Drop(1))
+        );
+    }
+
+    #[test]
+    fn population_only_segments_are_never_dropped() {
+        let policy = CompactionPolicy::default();
+        // A lone population-only segment is a fixpoint, not a Drop: its
+        // members' populations still feed the A-term.
+        assert_eq!(policy.plan(&[s(100, 0), population_only()]), None);
+        // As a predecessor its zero entry count always fits the tail
+        // ratio, so the next append absorbs it for free.
+        assert_eq!(
+            policy.plan(&[s(100, 0), population_only(), s(10, 0)]),
+            Some(CompactionStep::MergeTail(2))
+        );
+    }
+
+    #[test]
+    fn tombstone_heavy_segments_rewrite() {
+        let policy = CompactionPolicy::default();
+        assert_eq!(
+            policy.plan(&[s(500, 0), s(10, 10)]),
+            Some(CompactionStep::Rewrite(1))
+        );
+    }
+
+    #[test]
+    fn similar_sized_tails_merge() {
+        let policy = CompactionPolicy::default();
+        assert_eq!(
+            policy.plan(&[s(1_000, 0), s(12, 0), s(10, 0)]),
+            Some(CompactionStep::MergeTail(2))
+        );
+        // The merged tail then absorbs upward only within the ratio.
+        assert_eq!(policy.plan(&[s(1_000, 0), s(22, 0)]), None);
+    }
+
+    #[test]
+    fn geometric_layouts_are_a_fixpoint() {
+        let policy = CompactionPolicy::default();
+        assert_eq!(policy.plan(&[s(800, 0), s(200, 0), s(40, 0)]), None);
+    }
+
+    #[test]
+    fn plan_is_a_pure_function_of_sizes() {
+        let policy = CompactionPolicy::default();
+        let layout = [s(64, 1), s(64, 0)];
+        assert_eq!(policy.plan(&layout), policy.plan(&layout));
+        assert_eq!(
+            policy.plan(&layout),
+            Some(CompactionStep::MergeTail(2)),
+            "within-ratio tail merges regardless of when it was built"
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! The build-vs-scan cost model and its ski-rental accrual.
+//!
+//! The broker's old policy was a static entry-count threshold: build an
+//! index whenever the station holds ≥ 512 merged entries. That wastes a
+//! build on a station that sees one query per epoch, and delays one on a
+//! small station hammered by thousands. The replacement is the classic
+//! **ski-rental** scheme: keep scanning ("renting") while accumulating
+//! the per-query saving an index *would have* delivered; the moment the
+//! foregone saving reaches the build cost, build ("buy"). Deterministic
+//! — the decision depends only on the observed query count and the
+//! station's entry/node counts, never on wall-clock time — and
+//! 2-competitive against the optimal offline choice for any query
+//! arrival sequence.
+//!
+//! All costs are **abstract integer comparison counts** (binary-search
+//! steps via `ilog2`), not timings, so the decision is reproducible
+//! across machines and drivers (prc-lint D002 holds).
+
+/// Abstract costs of answering and indexing a station, in units of one
+/// entry comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Multiplier on the `O(S log S)` build work relative to query
+    /// comparisons (merging an entry costs about one heap sift plus the
+    /// accumulation pass).
+    pub build_factor: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel { build_factor: 2 }
+    }
+}
+
+fn log2_ceil(n: u64) -> u64 {
+    if n <= 1 {
+        1
+    } else {
+        u64::from((n - 1).ilog2()) + 1
+    }
+}
+
+impl CostModel {
+    /// Comparisons for one per-node scan query: two binary searches in
+    /// each of `nodes` runs of about `entries / nodes` entries.
+    pub fn scan_query_cost(&self, entries: usize, nodes: usize) -> u64 {
+        let nodes = nodes.max(1) as u64;
+        let per_node = (entries as u64).div_ceil(nodes);
+        2 * nodes * log2_ceil(per_node)
+    }
+
+    /// Comparisons for one indexed query: two binary searches over all
+    /// `entries` merged values.
+    pub fn indexed_query_cost(&self, entries: usize) -> u64 {
+        2 * log2_ceil(entries as u64)
+    }
+
+    /// Comparisons to build (or absorb into) an index over `entries`.
+    pub fn build_cost(&self, entries: usize) -> u64 {
+        self.build_factor * (entries as u64) * log2_ceil(entries as u64)
+    }
+
+    /// What one query saves when indexed instead of scanned (0 when the
+    /// scan is already at least as cheap — e.g. a single-node station).
+    pub fn query_saving(&self, entries: usize, nodes: usize) -> u64 {
+        self.scan_query_cost(entries, nodes)
+            .saturating_sub(self.indexed_query_cost(entries))
+    }
+}
+
+/// Ski-rental state: the total per-query saving foregone by scanning so
+/// far. Survives collection rounds — the amortization horizon is the
+/// index's lifetime (deltas keep an index valid), not one epoch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BuildAccrual {
+    foregone: u64,
+}
+
+impl BuildAccrual {
+    /// Records `queries` answered by scanning a station with the given
+    /// shape, accruing the saving an index would have delivered.
+    pub fn observe(&mut self, model: &CostModel, entries: usize, nodes: usize, queries: u64) {
+        self.foregone = self
+            .foregone
+            .saturating_add(model.query_saving(entries, nodes).saturating_mul(queries));
+    }
+
+    /// True once the foregone saving has paid for a build: renting now
+    /// costs more than buying would have.
+    pub fn should_build(&self, model: &CostModel, entries: usize) -> bool {
+        entries > 0 && self.foregone >= model.build_cost(entries)
+    }
+
+    /// Accrued foregone saving, in comparisons.
+    pub fn foregone(&self) -> u64 {
+        self.foregone
+    }
+
+    /// Resets after a build: the bought index zeroes the rent meter.
+    pub fn reset(&mut self) {
+        self.foregone = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn costs_scale_with_shape() {
+        let m = CostModel::default();
+        // Many small nodes scan expensively; one merged structure is cheap.
+        assert!(m.scan_query_cost(4096, 256) > m.indexed_query_cost(4096));
+        // A single node *is* a merged structure: no saving to be had.
+        assert_eq!(m.query_saving(4096, 1), 0);
+        assert_eq!(m.query_saving(0, 0), 0);
+        assert!(m.build_cost(4096) > m.build_cost(64));
+    }
+
+    #[test]
+    fn accrual_buys_after_enough_rent() {
+        let m = CostModel::default();
+        let (entries, nodes) = (8192, 64);
+        let mut accrual = BuildAccrual::default();
+        assert!(!accrual.should_build(&m, entries), "no queries yet");
+
+        let saving = m.query_saving(entries, nodes);
+        assert!(saving > 0);
+        let needed = m.build_cost(entries).div_ceil(saving);
+        accrual.observe(&m, entries, nodes, needed - 1);
+        assert!(!accrual.should_build(&m, entries), "one query short");
+        accrual.observe(&m, entries, nodes, 1);
+        assert!(accrual.should_build(&m, entries));
+
+        accrual.reset();
+        assert_eq!(accrual.foregone(), 0);
+        assert!(!accrual.should_build(&m, entries));
+    }
+
+    #[test]
+    fn single_node_stations_never_buy() {
+        let m = CostModel::default();
+        let mut accrual = BuildAccrual::default();
+        accrual.observe(&m, 10_000, 1, u64::MAX);
+        assert!(!accrual.should_build(&m, 10_000));
+    }
+
+    #[test]
+    fn empty_stations_never_buy() {
+        let m = CostModel::default();
+        let accrual = BuildAccrual::default();
+        assert!(!accrual.should_build(&m, 0));
+    }
+
+    #[test]
+    fn accrual_saturates_instead_of_overflowing() {
+        let m = CostModel::default();
+        let mut accrual = BuildAccrual::default();
+        accrual.observe(&m, 1 << 20, 1 << 10, u64::MAX);
+        accrual.observe(&m, 1 << 20, 1 << 10, u64::MAX);
+        assert_eq!(accrual.foregone(), u64::MAX);
+    }
+}

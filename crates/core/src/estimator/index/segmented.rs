@@ -1,0 +1,455 @@
+//! The segmented (LSM-style) rank index: immutable sorted segments over
+//! disjoint node subsets, maintained incrementally from collection
+//! deltas instead of rebuilt per epoch.
+
+use prc_net::base_station::BaseStation;
+use prc_net::message::NodeId;
+
+use super::compaction::{CompactionPolicy, CompactionStep, SegmentStats};
+use super::finish_rank_terms;
+use super::segment::{Segment, SegmentMember};
+use crate::estimator::{DeltaOutcome, QueryIndex};
+use crate::query::RangeQuery;
+
+/// An incrementally-maintained merged prefix-rank index.
+///
+/// Invariant: every data-bearing node of the station the index was last
+/// synchronized with appears as a *live* member of exactly one segment.
+/// `(ΣA, ΣB)` are integer sums over nodes, so a query fans the same two
+/// `partition_point`s across every segment and adds the per-segment
+/// aggregates — bit-identical to the monolithic [`super::RankIndex`] and
+/// to the per-node scan, at `O(m log S)` per query for `m` live
+/// segments.
+///
+/// On a collection round, [`SegmentedRankIndex::absorb_delta`] takes the
+/// round's changed-node set, tombstones those nodes in older segments,
+/// and builds one new segment over just their fresh samples —
+/// `O(Δ log Δ)` maintenance instead of an `O(S log S)` rebuild. The
+/// deterministic size-tiered [`CompactionPolicy`] then bounds the live
+/// segment count to `O(log S)`.
+///
+/// The sampling probability enters only at the final
+/// [`finish_rank_terms`] combine, never inside a segment, so segments
+/// built before a top-up remain valid after it; `absorb_delta` simply
+/// refreshes the stored probability.
+#[derive(Debug, Clone)]
+pub struct SegmentedRankIndex {
+    /// The station's current uniform sampling probability (refreshed on
+    /// every absorb).
+    probability: f64,
+    /// Oldest-first immutable segments over disjoint live node sets.
+    segments: Vec<Segment>,
+    policy: CompactionPolicy,
+    /// Deltas absorbed since the initial build.
+    delta_appends: u64,
+    /// Compaction steps applied since the initial build.
+    compactions: u64,
+}
+
+impl SegmentedRankIndex {
+    /// Builds a single-segment index over the station's current samples;
+    /// `None` when no uniform positive sampling probability exists
+    /// (same contract as [`super::RankIndex::build`]).
+    pub fn build(station: &BaseStation) -> Option<SegmentedRankIndex> {
+        let probability = station.uniform_probability()?;
+        let members = members_of(station, station.data_bearing_samples().map(|s| s.node_id));
+        Some(SegmentedRankIndex {
+            probability,
+            segments: vec![Segment::build(members)],
+            policy: CompactionPolicy::default(),
+            delta_appends: 0,
+            compactions: 0,
+        })
+    }
+
+    /// Absorbs one collection round's delta: tombstones `changed` nodes
+    /// in existing segments, appends one fresh segment over their
+    /// current samples, and compacts to the policy's fixpoint.
+    ///
+    /// Returns `None` when the station no longer has a uniform positive
+    /// sampling probability — the index is invalid and the caller must
+    /// discard it. Work is `O(Δ log Δ)` plus amortized compaction, where
+    /// `Δ` is the changed nodes' entry count.
+    pub fn absorb_delta(
+        &mut self,
+        station: &BaseStation,
+        changed: &[NodeId],
+    ) -> Option<DeltaOutcome> {
+        let probability = station.uniform_probability()?;
+        self.probability = probability;
+        if changed.is_empty() {
+            return Some(DeltaOutcome::default());
+        }
+
+        let mut tombstoned_entries = 0usize;
+        for segment in &mut self.segments {
+            for &node in changed {
+                tombstoned_entries += segment.tombstone(node);
+            }
+        }
+
+        let members = members_of(
+            station,
+            changed.iter().copied().filter(|&n| {
+                station
+                    .node_sample(n)
+                    .is_some_and(|s| s.population_size > 0)
+            }),
+        );
+        let appended_entries: usize = members.iter().map(|m| m.entries.len()).sum();
+        if !members.is_empty() {
+            self.segments.push(Segment::build(members));
+        }
+        self.delta_appends += 1;
+
+        let compactions = self.compact();
+        Some(DeltaOutcome {
+            appended_entries,
+            tombstoned_entries,
+            compactions,
+        })
+    }
+
+    /// Applies compaction steps until the policy reaches its fixpoint;
+    /// returns the number of steps applied.
+    fn compact(&mut self) -> u64 {
+        let mut applied = 0u64;
+        loop {
+            let stats: Vec<SegmentStats> = self
+                .segments
+                .iter()
+                .map(|s| SegmentStats {
+                    live: s.live_entries(),
+                    dead: s.dead_entries(),
+                    live_members: s.live_members(),
+                })
+                .collect();
+            let Some(step) = self.policy.plan(&stats) else {
+                break;
+            };
+            match step {
+                CompactionStep::Drop(i) => {
+                    self.segments.remove(i);
+                }
+                CompactionStep::Rewrite(i) => {
+                    let old = self.segments.remove(i);
+                    self.segments
+                        .insert(i, Segment::build(old.into_live_members()));
+                }
+                CompactionStep::MergeTail(count) => {
+                    let tail_start = self.segments.len() - count;
+                    let members: Vec<SegmentMember> = self
+                        .segments
+                        .drain(tail_start..)
+                        .flat_map(Segment::into_live_members)
+                        .collect();
+                    self.segments.push(Segment::build(members));
+                }
+            }
+            applied += 1;
+        }
+        self.compactions += applied;
+        applied
+    }
+
+    /// Answers one range query: the two binary searches fan across every
+    /// segment and the exact integer aggregates are summed once.
+    pub fn estimate(&self, query: RangeQuery) -> f64 {
+        let (sum_a, sum_b) = self.rank_terms(query);
+        finish_rank_terms(sum_a, sum_b, self.probability)
+    }
+
+    /// The exact integer aggregates `(ΣA, ΣB)` — must match
+    /// [`super::scan_rank_terms`] and the monolithic index exactly.
+    pub fn rank_terms(&self, query: RangeQuery) -> (i64, i64) {
+        let mut sum_a = 0i64;
+        let mut sum_b = 0i64;
+        for segment in &self.segments {
+            let (a, b) = segment.rank_terms(query);
+            sum_a += a;
+            sum_b += b;
+        }
+        (sum_a, sum_b)
+    }
+
+    /// Live merged entries across all segments (`S`).
+    pub fn merged_entries(&self) -> usize {
+        self.segments.iter().map(Segment::live_entries).sum()
+    }
+
+    /// Tombstoned entries still paid for per query (shrinks under
+    /// compaction).
+    pub fn dead_entries(&self) -> usize {
+        self.segments.iter().map(Segment::dead_entries).sum()
+    }
+
+    /// The uniform sampling probability as of the last build or absorb.
+    pub fn probability(&self) -> f64 {
+        self.probability
+    }
+
+    /// Live segment count (`m` in the `O(m log S)` query bound).
+    pub fn segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Deltas absorbed since the initial build.
+    pub fn delta_appends(&self) -> u64 {
+        self.delta_appends
+    }
+
+    /// Compaction steps applied since the initial build.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+}
+
+/// Snapshots the given nodes' current samples as fresh segment members.
+fn members_of(
+    station: &BaseStation,
+    nodes: impl IntoIterator<Item = NodeId>,
+) -> Vec<SegmentMember> {
+    nodes
+        .into_iter()
+        .filter_map(|node_id| station.node_sample(node_id))
+        .map(|s| SegmentMember {
+            node_id: s.node_id,
+            population: s.population_size as i64,
+            entries: s.entries().to_vec(),
+            dead: false,
+        })
+        .collect()
+}
+
+impl QueryIndex for SegmentedRankIndex {
+    fn estimate(&self, query: RangeQuery) -> f64 {
+        SegmentedRankIndex::estimate(self, query)
+    }
+
+    fn merged_entries(&self) -> usize {
+        SegmentedRankIndex::merged_entries(self)
+    }
+
+    fn probability(&self) -> f64 {
+        SegmentedRankIndex::probability(self)
+    }
+
+    fn segments(&self) -> usize {
+        SegmentedRankIndex::segments(self)
+    }
+
+    fn absorb_delta(&mut self, station: &BaseStation, changed: &[NodeId]) -> Option<DeltaOutcome> {
+        SegmentedRankIndex::absorb_delta(self, station, changed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::index::{scan_rank_terms, RankIndex};
+    use prc_net::failure::FailurePlan;
+    use prc_net::message::{SampleEntry, SampleMessage};
+    use prc_net::network::FlatNetwork;
+
+    fn q(l: f64, u: f64) -> RangeQuery {
+        RangeQuery::new(l, u).unwrap()
+    }
+
+    fn ingest(station: &mut BaseStation, node: u32, n: usize, p: f64, pairs: &[(f64, u32)]) {
+        station.ingest(SampleMessage {
+            node_id: NodeId(node),
+            population_size: n,
+            probability: p,
+            entries: pairs
+                .iter()
+                .map(|&(value, rank)| SampleEntry { value, rank })
+                .collect(),
+        });
+    }
+
+    /// Asserts the segmented index agrees bit-for-bit with the scan and
+    /// with a freshly built monolithic index on a spread of queries.
+    fn assert_synchronized(index: &SegmentedRankIndex, station: &BaseStation) {
+        let fresh = RankIndex::build(station).expect("reference index should build");
+        assert_eq!(index.merged_entries(), fresh.merged_entries());
+        for (l, u) in [
+            (-1.0e9, 1.0e9),
+            (-5.0, 3.0),
+            (0.0, 10.0),
+            (2.5, 2.5),
+            (7.0, 40.0),
+            (100.0, 200.0),
+            (-20.0, -10.0),
+        ] {
+            assert_eq!(
+                index.rank_terms(q(l, u)),
+                scan_rank_terms(station, q(l, u)),
+                "scan mismatch on ({l}, {u})"
+            );
+            assert_eq!(
+                index.estimate(q(l, u)).to_bits(),
+                fresh.estimate(q(l, u)).to_bits(),
+                "monolithic mismatch on ({l}, {u})"
+            );
+        }
+    }
+
+    #[test]
+    fn build_matches_monolithic_bit_for_bit() {
+        let mut station = BaseStation::new();
+        ingest(&mut station, 0, 10, 0.5, &[(2.0, 2), (5.0, 5), (9.0, 9)]);
+        ingest(&mut station, 1, 8, 0.5, &[(1.0, 1), (5.0, 3), (8.0, 7)]);
+        ingest(&mut station, 2, 6, 0.5, &[]);
+        let index = SegmentedRankIndex::build(&station).unwrap();
+        assert_eq!(index.segments(), 1);
+        assert_synchronized(&index, &station);
+    }
+
+    #[test]
+    fn absorb_tracks_updated_and_new_nodes() {
+        let mut station = BaseStation::new();
+        ingest(&mut station, 0, 10, 0.5, &[(2.0, 2), (9.0, 9)]);
+        ingest(&mut station, 1, 8, 0.5, &[(1.0, 1), (8.0, 7)]);
+        let mut index = SegmentedRankIndex::build(&station).unwrap();
+        let rev = station.revision();
+
+        // Node 1 grows (entries extend), node 2 appears.
+        ingest(&mut station, 1, 9, 0.5, &[(4.0, 4)]);
+        ingest(&mut station, 2, 5, 0.5, &[(3.0, 2)]);
+        let changed = station.changed_since(rev);
+        assert_eq!(changed, vec![NodeId(1), NodeId(2)]);
+
+        let outcome = index.absorb_delta(&station, &changed).unwrap();
+        assert_eq!(outcome.tombstoned_entries, 2, "node 1's old snapshot");
+        assert_eq!(outcome.appended_entries, 4, "node 1 fresh (3) + node 2 (1)");
+        assert_eq!(index.delta_appends(), 1);
+        assert_synchronized(&index, &station);
+    }
+
+    #[test]
+    fn empty_delta_is_a_cheap_no_op() {
+        let mut station = BaseStation::new();
+        ingest(&mut station, 0, 4, 0.25, &[(1.0, 1)]);
+        let mut index = SegmentedRankIndex::build(&station).unwrap();
+        let outcome = index.absorb_delta(&station, &[]).unwrap();
+        assert_eq!(outcome, DeltaOutcome::default());
+        assert_eq!(index.delta_appends(), 0);
+        assert_synchronized(&index, &station);
+    }
+
+    #[test]
+    fn top_up_refreshes_probability_across_old_segments() {
+        let mut station = BaseStation::new();
+        ingest(&mut station, 0, 10, 0.25, &[(2.0, 2)]);
+        ingest(&mut station, 1, 10, 0.25, &[(6.0, 3)]);
+        let mut index = SegmentedRankIndex::build(&station).unwrap();
+        let rev = station.revision();
+
+        // A global top-up raises every node's probability; old segments
+        // stay valid because p only enters at the final combine.
+        ingest(&mut station, 0, 10, 0.5, &[(4.0, 4)]);
+        ingest(&mut station, 1, 10, 0.5, &[(8.0, 7)]);
+        let changed = station.changed_since(rev);
+        index.absorb_delta(&station, &changed).unwrap();
+        assert_eq!(index.probability(), 0.5);
+        assert_synchronized(&index, &station);
+    }
+
+    #[test]
+    fn heterogeneous_probability_invalidates() {
+        let mut station = BaseStation::new();
+        ingest(&mut station, 0, 4, 0.5, &[(1.0, 1)]);
+        ingest(&mut station, 1, 4, 0.5, &[(2.0, 2)]);
+        let mut index = SegmentedRankIndex::build(&station).unwrap();
+        let rev = station.revision();
+        ingest(&mut station, 1, 4, 0.75, &[(3.0, 3)]);
+        assert!(index
+            .absorb_delta(&station, &station.changed_since(rev))
+            .is_none());
+    }
+
+    #[test]
+    fn repeated_deltas_stay_synchronized_and_compact() {
+        let partitions: Vec<Vec<f64>> = (0..12)
+            .map(|i| (0..200).map(|j| ((i * 200 + j) / 2) as f64).collect())
+            .collect();
+        let mut net = FlatNetwork::from_partitions(partitions, 77);
+        // Nodes 10 and 11 are down for the first epoch: they never report,
+        // so the station stays uniform at the target without them.
+        let mut plan = FailurePlan::none();
+        plan.kill_node(NodeId(10));
+        plan.kill_node(NodeId(11));
+        net.set_failure_plan(plan);
+        net.collect_samples(0.3);
+        let mut index = SegmentedRankIndex::build(net.station()).unwrap();
+        let mut rev = net.station().revision();
+
+        // Revival catch-up at the same target: exactly the two previously
+        // dead nodes change.
+        net.set_failure_plan(FailurePlan::none());
+        net.collect_samples(0.3);
+        let delta = net.station().changed_since(rev);
+        assert_eq!(delta, vec![NodeId(10), NodeId(11)]);
+        index.absorb_delta(net.station(), &delta).unwrap();
+        rev = net.station().revision();
+        assert_synchronized(&index, net.station());
+
+        // Growth: rounds of nodes joining and catching up to the target.
+        for round in 0..5u64 {
+            for j in 0..2u64 {
+                let base = 3_000 + (round * 2 + j) * 200;
+                let data = (0..200).map(|v| ((base + v) / 2) as f64).collect();
+                net.add_node(data, 1_000 + round * 2 + j);
+            }
+            net.collect_samples(0.3);
+            let delta = net.station().changed_since(rev);
+            assert_eq!(delta.len(), 2, "only the joiners change");
+            index.absorb_delta(net.station(), &delta).unwrap();
+            rev = net.station().revision();
+            assert_synchronized(&index, net.station());
+        }
+        assert!(index.delta_appends() >= 6);
+        assert!(index.compactions() > 0, "size-tiered merges must fire");
+        assert!(
+            index.segments() <= 5,
+            "compaction must bound segments, got {}",
+            index.segments()
+        );
+
+        // A global top-up changes every node: a full delta mass-tombstones
+        // the old segments, which compaction then reclaims entirely.
+        net.collect_samples(0.5);
+        let delta = net.station().changed_since(rev);
+        assert_eq!(delta.len(), net.station().node_count());
+        let outcome = index.absorb_delta(net.station(), &delta).unwrap();
+        assert!(outcome.tombstoned_entries > 0);
+        assert_eq!(index.probability(), 0.5);
+        assert_eq!(index.dead_entries(), 0, "fully-dead segments are dropped");
+        assert_synchronized(&index, net.station());
+    }
+
+    #[test]
+    fn trait_object_surface_reports_segment_state() {
+        let mut station = BaseStation::new();
+        ingest(&mut station, 0, 4, 0.5, &[(1.0, 1)]);
+        ingest(&mut station, 1, 4, 0.5, &[(2.0, 2)]);
+        let index = SegmentedRankIndex::build(&station).unwrap();
+        let mut boxed: Box<dyn QueryIndex> = Box::new(index);
+        assert_eq!(boxed.segments(), 1);
+        assert_eq!(boxed.merged_entries(), 2);
+
+        let rev = station.revision();
+        ingest(&mut station, 2, 4, 0.5, &[(3.0, 3)]);
+        let outcome = boxed
+            .absorb_delta(&station, &station.changed_since(rev))
+            .expect("segmented trait objects absorb deltas");
+        assert_eq!(outcome.appended_entries, 1);
+        assert_eq!(
+            boxed.estimate(q(0.0, 5.0)).to_bits(),
+            RankIndex::build(&station)
+                .unwrap()
+                .estimate(q(0.0, 5.0))
+                .to_bits()
+        );
+    }
+}

@@ -16,30 +16,48 @@
 //! Estimators may additionally offer a per-epoch [`QueryIndex`]
 //! (via [`RangeCountEstimator::build_index`]): an immutable snapshot built
 //! once after a collection round that answers subsequent queries faster
-//! than the per-node walk. [`RankIndex`] is RankCounting's index — a
-//! merged prefix-rank structure that turns `O(k log s)` per query into
-//! `O(log S)` with bit-identical results.
+//! than the per-node walk. [`RankIndex`] is RankCounting's monolithic
+//! index — a merged prefix-rank structure that turns `O(k log s)` per
+//! query into `O(log S)` with bit-identical results — and
+//! [`SegmentedRankIndex`] is its incrementally-maintained successor,
+//! absorbing per-round collection deltas instead of rebuilding.
 
 pub mod basic;
 pub mod index;
 pub mod rank;
 
 pub use basic::BasicCounting;
-pub use index::RankIndex;
+pub use index::{BuildAccrual, CompactionPolicy, CostModel, RankIndex, SegmentedRankIndex};
 pub use rank::RankCounting;
 
 use prc_net::base_station::{BaseStation, NodeSample};
+use prc_net::message::NodeId;
 
 use crate::query::RangeQuery;
 
-/// An immutable per-epoch query accelerator over a station's samples.
+/// What one [`QueryIndex::absorb_delta`] call did, for the broker's
+/// stage counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaOutcome {
+    /// Sample entries appended in the delta's fresh segment.
+    pub appended_entries: usize,
+    /// Entries newly tombstoned in older segments.
+    pub tombstoned_entries: usize,
+    /// Compaction steps applied after the append.
+    pub compactions: u64,
+}
+
+/// A per-epoch query accelerator over a station's samples.
 ///
-/// An index is a snapshot: it answers queries against the sample state it
-/// was built from, so owners (the broker) must discard it whenever the
-/// station changes — after every collection round. Implementations must
-/// return results **bit-identical** to the estimator's direct
+/// An index answers queries against the sample state it was last
+/// synchronized with. After a collection round, owners (the broker) hand
+/// the round's changed-node set to [`QueryIndex::absorb_delta`];
+/// implementations that maintain themselves incrementally absorb it,
+/// while snapshot-only implementations decline and are discarded and
+/// rebuilt. Either way, implementations must return results
+/// **bit-identical** to the estimator's direct
 /// [`RangeCountEstimator::estimate`] on the same station, so switching
-/// between the two paths can never change a released answer.
+/// between the paths can never change a released answer.
 pub trait QueryIndex: std::fmt::Debug + Send + Sync {
     /// Estimates the global count `γ(l, u, D)` for one query.
     fn estimate(&self, query: RangeQuery) -> f64;
@@ -49,6 +67,22 @@ pub trait QueryIndex: std::fmt::Debug + Send + Sync {
 
     /// The uniform sampling probability the index was built at.
     fn probability(&self) -> f64;
+
+    /// Live segment count (`1` for monolithic snapshot indexes).
+    fn segments(&self) -> usize {
+        1
+    }
+
+    /// Brings the index up to date with `station` after a collection
+    /// round that changed exactly the nodes in `changed`.
+    ///
+    /// Returns `None` when the index cannot absorb the delta (snapshot
+    /// implementations, or the station lost its uniform probability);
+    /// the owner must then discard the index and rebuild from scratch.
+    fn absorb_delta(&mut self, station: &BaseStation, changed: &[NodeId]) -> Option<DeltaOutcome> {
+        let _ = (station, changed);
+        None
+    }
 }
 
 /// A sampling-based estimator of range counts.

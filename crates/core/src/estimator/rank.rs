@@ -46,7 +46,7 @@
 
 use prc_net::base_station::{BaseStation, NodeSample};
 
-use crate::estimator::index::{finish_rank_terms, scan_rank_terms, RankIndex};
+use crate::estimator::index::{finish_rank_terms, scan_rank_terms, SegmentedRankIndex};
 use crate::estimator::{QueryIndex, RangeCountEstimator};
 use crate::query::RangeQuery;
 
@@ -140,7 +140,7 @@ impl RangeCountEstimator for RankCounting {
     }
 
     fn build_index(&self, station: &BaseStation) -> Option<Box<dyn QueryIndex>> {
-        RankIndex::build(station).map(|index| Box::new(index) as Box<dyn QueryIndex>)
+        SegmentedRankIndex::build(station).map(|index| Box::new(index) as Box<dyn QueryIndex>)
     }
 }
 

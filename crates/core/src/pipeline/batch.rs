@@ -138,7 +138,7 @@ where
             // ready for this epoch, every worker answers through it —
             // same bits as the scan, `O(log S)` per query instead of
             // `O(k log s)`.
-            prepare_index(broker);
+            prepare_index(broker, pending.len() as u64);
             let station = broker.network.station();
             let estimator = &broker.estimator;
             let index = match &broker.index {

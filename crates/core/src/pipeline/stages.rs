@@ -19,12 +19,15 @@
 
 use prc_dp::budget::{Epsilon, Reservation};
 use prc_dp::laplace::draw_centered;
+use prc_net::message::NodeId;
 use prc_net::network::Network;
 use prc_pricing::engine::{Quote, Settlement};
 use prc_pricing::reuse::Demand;
 
 use crate::accuracy::required_probability_clamped;
-use crate::broker::{DataBroker, IndexFingerprint, IndexState, PrivateAnswer};
+use crate::broker::{
+    DataBroker, IndexFingerprint, IndexGeneration, IndexPolicy, IndexState, PrivateAnswer,
+};
 use crate::error::CoreError;
 use crate::estimator::RangeCountEstimator;
 use crate::optimizer::{optimize, NetworkShape, PerturbationPlan, SensitivityPolicy};
@@ -160,8 +163,14 @@ pub struct Collected {
 
 /// Stage 2 — Collect: top the network up to the admitted target.
 ///
-/// A round that actually collects starts a new epoch: any query index
-/// built against the previous sample state is invalidated.
+/// A round that actually collects reports its [`RoundDelta`]
+/// (`prc_net::network::RoundDelta`) — the exact set of changed nodes.
+/// The query index is *not* discarded: [`prepare_index`] later absorbs
+/// the delta through the station's revision journal. The answer cache
+/// *is* delta-filtered here: cached answers whose range touches a
+/// changed node's value span are evicted, while answers over untouched
+/// ranges survive the round (eviction consumes no randomness and no
+/// budget — it only forces a fresh pipeline run on the next request).
 #[derive(Debug)]
 pub struct Collect {
     /// Sampling probability to reach.
@@ -172,15 +181,44 @@ impl Collect {
     /// Runs the stage (infallible: a short delivery simply leaves the
     /// achieved probability below target, which later stages re-check).
     pub fn run<E, N: Network>(self, broker: &mut DataBroker<E, N>) -> Collected {
-        if let Some(delivered) = broker.network.top_up(self.target_probability) {
+        if let Some(delta) = broker.network.top_up_delta(self.target_probability) {
             broker.counters.collection_rounds += 1;
-            broker.counters.samples_collected += delivered as u64;
-            broker.index = IndexState::Stale;
+            broker.counters.samples_collected += delta.delivered as u64;
+            evict_touched_answers(broker, &delta.changed);
         }
         Collected {
             achieved_probability: broker.network.station().effective_probability(),
         }
     }
+}
+
+/// Evicts cached answers whose query range intersects a changed node's
+/// value span, so only answers the round could not have affected keep
+/// being re-served. A changed node without entries has no known span and
+/// is treated as touching everything (conservative full clear).
+pub(crate) fn evict_touched_answers<E, N: Network>(
+    broker: &mut DataBroker<E, N>,
+    changed: &[NodeId],
+) {
+    if broker.cache.is_empty() || changed.is_empty() {
+        return;
+    }
+    let station = broker.network.station();
+    let mut spans: Vec<(f64, f64)> = Vec::with_capacity(changed.len());
+    for &node in changed {
+        match station.node_sample(node).and_then(|s| s.value_span()) {
+            Some(span) => spans.push(span),
+            None => {
+                broker.cache.clear();
+                return;
+            }
+        }
+    }
+    broker.cache.retain(|&(lower_bits, upper_bits, _), _| {
+        let lower = f64::from_bits(lower_bits);
+        let upper = f64::from_bits(upper_bits);
+        !spans.iter().any(|&(lo, hi)| lo <= upper && lower <= hi)
+    });
 }
 
 /// A planned and budget-held request, ready for [`Estimate`].
@@ -297,7 +335,7 @@ impl Estimate {
         self,
         broker: &mut DataBroker<E, N>,
     ) -> Estimated {
-        prepare_index(broker);
+        prepare_index(broker, 1);
         let sample_estimate = match &broker.index {
             IndexState::Ready(_, index) => {
                 broker.counters.indexed_estimates += 1;
@@ -479,32 +517,108 @@ fn plan<E: RangeCountEstimator, N: Network>(
     optimize(accuracy, p, shape, &broker.optimizer_config)
 }
 
-/// Makes the index slot reflect the station's *current* state: keeps a
-/// slot whose fingerprint still matches, otherwise rebuilds (or records
-/// unavailability) at the current fingerprint. After this returns, an
+/// Makes the index slot reflect the station's *current* state, about to
+/// answer `upcoming_queries` estimates. After this returns, an
 /// `IndexState::Ready` slot is safe to answer from.
-pub(crate) fn prepare_index<E: RangeCountEstimator, N: Network>(broker: &mut DataBroker<E, N>) {
+///
+/// In order of preference:
+///
+/// 1. a live generation whose revision matches the station is kept
+///    as-is;
+/// 2. a drifted generation absorbs the exact changed-node delta from
+///    the revision journal (`O(Δ log Δ)`), falling back to 4 only when
+///    the index declines (e.g. the station lost its uniform rate);
+/// 3. a pending cross-broker [`crate::broker::IndexCacheHandle`] whose
+///    station matches structurally is adopted instead of building;
+/// 4. otherwise the [`IndexPolicy`] decides whether to build from
+///    scratch now: a threshold policy compares sample counts, the
+///    adaptive policy accrues the scanning cost of `upcoming_queries`
+///    into its ski-rental meter and builds once scanning has foregone a
+///    build's worth of savings.
+pub(crate) fn prepare_index<E: RangeCountEstimator, N: Network>(
+    broker: &mut DataBroker<E, N>,
+    upcoming_queries: u64,
+) {
     let station = broker.network.station();
+    let revision = station.revision();
     let fingerprint: IndexFingerprint = (
         station.uniform_probability().map(f64::to_bits),
         station.total_samples(),
     );
-    let current = match &broker.index {
-        IndexState::Stale => false,
-        IndexState::Unavailable(f) | IndexState::Ready(f, _) => *f == fingerprint,
+
+    // 1 + 2: a live generation is kept or brought up to date in place.
+    if let IndexState::Ready(generation, index) = &mut broker.index {
+        if generation.revision == revision {
+            return;
+        }
+        let changed = station.changed_since(generation.revision);
+        if let Some(outcome) = index.absorb_delta(station, &changed) {
+            *generation = IndexGeneration {
+                fingerprint,
+                revision,
+            };
+            broker.counters.delta_appends += 1;
+            broker.counters.compactions += outcome.compactions;
+            broker.counters.segments_live = index.segments() as u64;
+            return;
+        }
+        broker.index = IndexState::Stale;
+        broker.counters.segments_live = 0;
+    }
+
+    if let IndexState::Unavailable(f) = &broker.index {
+        if *f == fingerprint {
+            return;
+        }
+    }
+
+    // 3: adopt a threaded-in index if its station matches ours exactly.
+    if broker
+        .pending_index
+        .as_ref()
+        .is_some_and(|handle| *station == handle.station)
+    {
+        if let Some(handle) = broker.pending_index.take() {
+            broker.counters.segments_live = handle.index.segments() as u64;
+            broker.index = IndexState::Ready(
+                IndexGeneration {
+                    fingerprint,
+                    revision,
+                },
+                handle.index,
+            );
+            return;
+        }
+    }
+
+    // 4: build-from-scratch decision.
+    let entries = station.total_samples();
+    let should_build = match broker.index_policy {
+        IndexPolicy::Threshold(threshold) => entries >= threshold,
+        IndexPolicy::Adaptive(model) => {
+            let nodes = station.data_bearing_samples().count();
+            broker
+                .build_accrual
+                .observe(&model, entries, nodes, upcoming_queries);
+            broker.build_accrual.should_build(&model, entries)
+        }
     };
-    if current {
+    if !should_build {
+        broker.index = IndexState::Stale;
         return;
     }
-    let built = if station.total_samples() >= broker.index_threshold {
-        broker.estimator.build_index(station)
-    } else {
-        None
-    };
-    broker.index = match built {
+    broker.index = match broker.estimator.build_index(station) {
         Some(index) => {
             broker.counters.index_builds += 1;
-            IndexState::Ready(fingerprint, index)
+            broker.counters.segments_live = index.segments() as u64;
+            broker.build_accrual = crate::estimator::BuildAccrual::default();
+            IndexState::Ready(
+                IndexGeneration {
+                    fingerprint,
+                    revision,
+                },
+                index,
+            )
         }
         None => IndexState::Unavailable(fingerprint),
     };

@@ -1,0 +1,10 @@
+// prc-lint-fixture: path = crates/core/src/estimator/index/compaction.rs
+//! A wall-clock tiebreak inside the compaction policy: D002. The plan
+//! must be a pure function of segment sizes, or two runs over the same
+//! station history compact differently and the index layout (and its
+//! counters) stop reproducing across drivers and machines.
+
+pub fn should_merge(prev_live: usize, tail_live: usize) -> bool {
+    let jitter = std::time::Instant::now().elapsed().as_nanos() % 2 == 0;
+    prev_live <= 2 * tail_live && jitter
+}

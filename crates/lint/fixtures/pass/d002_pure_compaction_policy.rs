@@ -1,0 +1,8 @@
+// prc-lint-fixture: path = crates/core/src/estimator/index/compaction.rs
+//! The compaction policy as it must be written: the next step is a pure
+//! function of segment statistics — no clock, no randomness, no I/O —
+//! so identical station histories compact identically everywhere.
+
+pub fn should_merge(prev_live: usize, tail_live: usize, fanout: usize) -> bool {
+    prev_live <= fanout.saturating_mul(tail_live)
+}

@@ -27,8 +27,9 @@ fn every_fixture_behaves_as_labelled() {
 fn corpus_covers_every_rule() {
     let results = self_test(&fixtures_dir()).expect("fixture corpus must be readable");
     // One pair per rule, plus the extra D001 pairs pinning the pipeline
-    // modules and the tree driver into the deterministic scope.
-    assert_eq!(results.len(), 2 * RULE_IDS.len() + 4);
+    // modules and the tree driver into the deterministic scope, plus the
+    // D002 pair pinning the segmented index's compaction policy.
+    assert_eq!(results.len(), 2 * RULE_IDS.len() + 6);
     for rule in RULE_IDS {
         let prefix = rule.to_lowercase();
         assert!(

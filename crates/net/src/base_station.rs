@@ -5,7 +5,14 @@ use std::collections::BTreeMap;
 use crate::message::{NodeId, SampleEntry, SampleMessage};
 
 /// The accumulated sample state for one node, as known to the base station.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+///
+/// Equality compares *sample state only* — the revision journal
+/// ([`NodeSample::last_changed`]) is excluded. Different drivers may
+/// deliver a node's samples in a different number of ingest events
+/// (e.g. tree aggregation) and so stamp different revisions while
+/// holding byte-identical state; the driver-conformance contract is
+/// about the state, and the journal is per-station bookkeeping.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct NodeSample {
     /// The contributing node.
     pub node_id: NodeId,
@@ -15,6 +22,19 @@ pub struct NodeSample {
     pub probability: f64,
     /// All received entries, sorted by rank, no duplicates.
     entries: Vec<SampleEntry>,
+    /// Station revision at which this record last changed (see
+    /// [`BaseStation::revision`]).
+    #[serde(default)]
+    last_changed: u64,
+}
+
+impl PartialEq for NodeSample {
+    fn eq(&self, other: &Self) -> bool {
+        self.node_id == other.node_id
+            && self.population_size == other.population_size
+            && self.probability == other.probability
+            && self.entries == other.entries
+    }
 }
 
 impl NodeSample {
@@ -33,13 +53,46 @@ impl NodeSample {
         self.entries.is_empty()
     }
 
-    fn merge(&mut self, message: SampleMessage) {
+    /// The station revision at which this record last changed.
+    ///
+    /// A record counts as changed when it is created, when its claimed
+    /// population moves, when its cumulative probability rises, or when
+    /// a merge adds at least one new entry.
+    pub fn last_changed(&self) -> u64 {
+        self.last_changed
+    }
+
+    /// The closed value interval `[min, max]` covered by the received
+    /// entries, or `None` when no entries are held.
+    ///
+    /// Entries arrive rank-sorted and each node's local dataset is
+    /// sorted, so rank order *is* value order: the span is simply the
+    /// first and last entry.
+    pub fn value_span(&self) -> Option<(f64, f64)> {
+        let first = self.entries.first()?;
+        let last = self.entries.last()?;
+        Some((first.value, last.value))
+    }
+
+    /// Merges one message in; reports whether the record changed.
+    fn merge(&mut self, message: SampleMessage) -> bool {
         debug_assert_eq!(self.node_id, message.node_id);
+        let before = (
+            self.population_size,
+            self.probability.to_bits(),
+            self.entries.len(),
+        );
         self.population_size = message.population_size;
         self.probability = self.probability.max(message.probability);
         self.entries.extend(message.entries);
         self.entries.sort_by_key(|e| e.rank);
         self.entries.dedup_by_key(|e| e.rank);
+        before
+            != (
+                self.population_size,
+                self.probability.to_bits(),
+                self.entries.len(),
+            )
     }
 }
 
@@ -50,9 +103,27 @@ impl NodeSample {
 /// run the RankCounting estimator, and call [`BaseStation::deficit_nodes`]
 /// to learn which nodes must top up before a target sampling probability
 /// is met.
-#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
 pub struct BaseStation {
     samples: BTreeMap<NodeId, NodeSample>,
+    /// Monotone change counter: bumped once per [`BaseStation::ingest`]
+    /// that actually changes a node's record. Revision `0` is the empty
+    /// station. Every mutation of station state flows through `ingest`,
+    /// so `revision` is a sound validity token for any derived
+    /// structure (estimator indexes, answer caches): if the revision is
+    /// unchanged, the sample state is byte-identical.
+    #[serde(default)]
+    revision: u64,
+}
+
+/// Sample-state equality: two stations are equal when every node holds
+/// the same population claim, probability, and entry set. The revision
+/// journal is deliberately excluded — it counts ingest *events*, which
+/// differ across drivers delivering the same state.
+impl PartialEq for BaseStation {
+    fn eq(&self, other: &Self) -> bool {
+        self.samples == other.samples
+    }
 }
 
 impl BaseStation {
@@ -62,9 +133,15 @@ impl BaseStation {
     }
 
     /// Ingests one sample message, merging it into the node's sample set.
+    ///
+    /// Bumps the station [`revision`](BaseStation::revision) and stamps
+    /// the node's [`last_changed`](NodeSample::last_changed) iff the
+    /// merge changed the record (created it, moved its population,
+    /// raised its probability, or added entries). Re-delivering an
+    /// already-known batch leaves the revision untouched.
     pub fn ingest(&mut self, message: SampleMessage) {
         let node_id = message.node_id;
-        match self.samples.get_mut(&node_id) {
+        let changed = match self.samples.get_mut(&node_id) {
             Some(existing) => existing.merge(message),
             None => {
                 let mut fresh = NodeSample {
@@ -72,11 +149,44 @@ impl BaseStation {
                     population_size: message.population_size,
                     probability: 0.0,
                     entries: Vec::new(),
+                    last_changed: 0,
                 };
                 fresh.merge(message);
                 self.samples.insert(node_id, fresh);
+                // A node reporting for the first time is a change even
+                // when the batch itself is empty (Drop-mode population
+                // registration): the station's population claim moved.
+                true
+            }
+        };
+        if changed {
+            self.revision += 1;
+            if let Some(sample) = self.samples.get_mut(&node_id) {
+                sample.last_changed = self.revision;
             }
         }
+    }
+
+    /// The station's monotone change counter (`0` = never changed).
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// Nodes whose record changed strictly after revision `rev`, in
+    /// node-id order.
+    ///
+    /// `changed_since(0)` lists every node that has ever reported;
+    /// `changed_since(self.revision())` is always empty. This is the
+    /// pull side of the delta contract: a consumer remembers the
+    /// revision it last synchronised at and asks the station for the
+    /// exact set of dirty nodes, instead of treating the whole station
+    /// as dirty after every collection round.
+    pub fn changed_since(&self, rev: u64) -> Vec<NodeId> {
+        self.samples
+            .values()
+            .filter(|s| s.last_changed > rev)
+            .map(|s| s.node_id)
+            .collect()
     }
 
     /// Number of nodes that have reported at least once.
@@ -277,6 +387,67 @@ mod tests {
         let mut bs = BaseStation::new();
         bs.ingest(msg(1, 10, 0.0, &[]));
         assert_eq!(bs.uniform_probability(), None);
+    }
+
+    #[test]
+    fn revision_tracks_only_real_changes() {
+        let mut bs = BaseStation::new();
+        assert_eq!(bs.revision(), 0);
+
+        bs.ingest(msg(1, 10, 0.1, &[3]));
+        assert_eq!(bs.revision(), 1, "first report is a change");
+
+        // Re-delivering the exact same batch changes nothing.
+        bs.ingest(msg(1, 10, 0.1, &[3]));
+        assert_eq!(bs.revision(), 1, "idempotent re-delivery");
+
+        // A duplicate rank with a higher probability is still a change
+        // (the probability moved).
+        bs.ingest(msg(1, 10, 0.2, &[3]));
+        assert_eq!(bs.revision(), 2);
+
+        // New entries at the same probability are a change.
+        bs.ingest(msg(1, 10, 0.2, &[4]));
+        assert_eq!(bs.revision(), 3);
+
+        // An empty batch registering a new node is a change.
+        bs.ingest(msg(2, 5, 0.0, &[]));
+        assert_eq!(bs.revision(), 4);
+
+        assert_eq!(bs.node_sample(NodeId(1)).unwrap().last_changed(), 3);
+        assert_eq!(bs.node_sample(NodeId(2)).unwrap().last_changed(), 4);
+    }
+
+    #[test]
+    fn changed_since_reports_the_exact_dirty_set() {
+        let mut bs = BaseStation::new();
+        bs.ingest(msg(1, 10, 0.1, &[1]));
+        bs.ingest(msg(2, 10, 0.1, &[2]));
+        let synced = bs.revision();
+
+        assert!(bs.changed_since(synced).is_empty());
+        assert_eq!(
+            bs.changed_since(0),
+            vec![NodeId(1), NodeId(2)],
+            "from revision zero every reporter is dirty"
+        );
+
+        bs.ingest(msg(2, 10, 0.3, &[5]));
+        bs.ingest(msg(7, 10, 0.3, &[9]));
+        assert_eq!(bs.changed_since(synced), vec![NodeId(2), NodeId(7)]);
+        assert!(bs.changed_since(bs.revision()).is_empty());
+    }
+
+    #[test]
+    fn value_span_covers_received_entries() {
+        let mut bs = BaseStation::new();
+        bs.ingest(msg(1, 10, 0.1, &[]));
+        assert_eq!(bs.node_sample(NodeId(1)).unwrap().value_span(), None);
+        bs.ingest(msg(1, 10, 0.2, &[4, 2, 9]));
+        assert_eq!(
+            bs.node_sample(NodeId(1)).unwrap().value_span(),
+            Some((2.0, 9.0))
+        );
     }
 
     #[test]

@@ -23,6 +23,12 @@
 //!    non-silent lagging node is requested, every request resolves to a
 //!    delivery or a loss, and the round summary carries the delivered
 //!    total.
+//! 6. **Delta reporting** — [`Network::collect_delta`] names exactly
+//!    the nodes whose station record changed: a first round reports
+//!    every live node, a redundant round reports nothing and leaves the
+//!    revision untouched, a catch-up round after a lifted failure plan
+//!    reports precisely the previously-dead nodes, and the delta's
+//!    `revision` always brackets [`BaseStation::changed_since`].
 //!
 //! [`check_driver`] runs the whole contract against any factory closure
 //! and returns a [`ConformanceReport`] holding the canonical-scenario
@@ -40,7 +46,7 @@
 use crate::base_station::BaseStation;
 use crate::failure::{FailurePlan, LossMode};
 use crate::message::NodeId;
-use crate::network::{CostSnapshot, Network};
+use crate::network::{CostSnapshot, Network, RoundDelta};
 use crate::trace::Tracer;
 
 /// Nodes in the canonical scenario (binary-tree leaves are 3..=6).
@@ -107,6 +113,10 @@ pub struct ConformanceReport {
     pub failure_station: BaseStation,
     /// Meter totals after the shared failure scenario.
     pub failure_cost: CostSnapshot,
+    /// Per-round deltas reported over the clean canonical schedule.
+    pub clean_deltas: Vec<RoundDelta>,
+    /// Per-round deltas reported under the shared failure scenario.
+    pub failure_deltas: Vec<RoundDelta>,
 }
 
 /// Checks the cost-meter invariants that must hold after every round.
@@ -161,20 +171,45 @@ where
             network.set_failure_plan(plan);
         }
         let mut delivered = 0;
+        let mut deltas = Vec::with_capacity(schedule.len());
         for &target in schedule {
-            delivered += network.collect_samples(target);
+            let before = network.station().revision();
+            let delta = network.collect_delta(target);
             assert_cost_invariants(driver, &network);
+            // 6. Delta reporting: the delta must bracket the station's
+            //    own journal exactly, round after round.
+            assert_eq!(
+                delta.changed,
+                network.station().changed_since(before),
+                "{driver}: a round delta must name exactly the journalled dirty set"
+            );
+            assert_eq!(
+                delta.revision,
+                network.station().revision(),
+                "{driver}: a round delta must carry the post-round revision"
+            );
+            if delta.changed.is_empty() {
+                assert_eq!(
+                    delta.revision, before,
+                    "{driver}: an empty delta must leave the revision untouched"
+                );
+            }
+            delivered += delta.delivered;
+            deltas.push(delta);
         }
         (
             network.station().clone(),
             network.meter().snapshot(),
             delivered,
+            deltas,
         )
     };
 
     // 1. Seed determinism: two builds, two runs, byte-identical outcome.
-    let (clean_station, clean_cost, clean_delivered) = run_schedule(None, &CANONICAL_SCHEDULE);
-    let (repeat_station, repeat_cost, repeat_delivered) = run_schedule(None, &CANONICAL_SCHEDULE);
+    let (clean_station, clean_cost, clean_delivered, clean_deltas) =
+        run_schedule(None, &CANONICAL_SCHEDULE);
+    let (repeat_station, repeat_cost, repeat_delivered, repeat_deltas) =
+        run_schedule(None, &CANONICAL_SCHEDULE);
     assert_eq!(
         station_fingerprint(&clean_station),
         station_fingerprint(&repeat_station),
@@ -197,6 +232,32 @@ where
         clean_station.total_samples(),
         "{driver}: with no failures, everything delivered must be held"
     );
+    assert_eq!(
+        clean_deltas, repeat_deltas,
+        "{driver}: identical construction must report identical deltas"
+    );
+    let all_nodes: Vec<NodeId> = (0..CANONICAL_NODES as u32).map(NodeId).collect();
+    match clean_deltas.as_slice() {
+        [first_round, _, repeat_round, raised_round] => {
+            assert_eq!(
+                first_round.changed, all_nodes,
+                "{driver}: the first clean round must report every node changed"
+            );
+            assert!(
+                repeat_round.changed.is_empty() && repeat_round.delivered == 0,
+                "{driver}: the repeated target must report an empty delta"
+            );
+            assert_eq!(
+                raised_round.changed, all_nodes,
+                "{driver}: a raised target must report every lagging node changed"
+            );
+        }
+        other => assert_eq!(
+            other.len(),
+            4,
+            "{driver}: the canonical schedule must produce one delta per round"
+        ),
+    }
 
     // 2. Monotone top-up semantics.
     let mut network = build(canonical_partitions(), CANONICAL_SEED);
@@ -258,7 +319,14 @@ where
     let mut dead_plan = FailurePlan::none();
     dead_plan.kill_node(NodeId(5));
     dead_plan.kill_node(NodeId(6));
-    let (dead_station, _, dead_delivered) = run_schedule(Some(dead_plan), &CANONICAL_SCHEDULE);
+    let (dead_station, _, dead_delivered, dead_deltas) =
+        run_schedule(Some(dead_plan), &CANONICAL_SCHEDULE);
+    assert!(
+        dead_deltas
+            .iter()
+            .all(|d| !d.changed.contains(&NodeId(5)) && !d.changed.contains(&NodeId(6))),
+        "{driver}: dead nodes must never appear in a round delta"
+    );
     assert_eq!(
         dead_station.node_count(),
         CANONICAL_NODES - 2,
@@ -282,7 +350,8 @@ where
 
     // 4b. Retransmit loses nothing but costs messages.
     let retransmit_plan = FailurePlan::new(0.0, 0.4, LossMode::Retransmit, CANONICAL_FAILURE_SEED);
-    let (retry_station, retry_cost, _) = run_schedule(Some(retransmit_plan), &CANONICAL_SCHEDULE);
+    let (retry_station, retry_cost, _, _) =
+        run_schedule(Some(retransmit_plan), &CANONICAL_SCHEDULE);
     assert_eq!(
         station_fingerprint(&retry_station),
         station_fingerprint(&clean_station),
@@ -299,7 +368,7 @@ where
 
     // 4c. Drop under-delivers but still registers population.
     let drop_plan = FailurePlan::new(0.0, 0.4, LossMode::Drop, CANONICAL_FAILURE_SEED);
-    let (drop_station, drop_cost, _) = run_schedule(Some(drop_plan), &CANONICAL_SCHEDULE);
+    let (drop_station, drop_cost, _, _) = run_schedule(Some(drop_plan), &CANONICAL_SCHEDULE);
     assert!(
         drop_cost.lost_messages > 0,
         "{driver}: the canonical Drop scenario must actually lose batches"
@@ -375,8 +444,44 @@ where
     );
     assert_eq!(counts.get("round_completed").copied().unwrap_or(0), 1);
 
+    // 6 (continued). Catch-up deltas: after a lifted failure plan, one
+    // round reports exactly the previously-dead nodes — the partial
+    // delta an incremental index consumes without a full rebuild.
+    let mut network = build(canonical_partitions(), CANONICAL_SEED);
+    let mut plan = FailurePlan::none();
+    plan.kill_node(NodeId(3));
+    plan.kill_node(NodeId(4));
+    network.set_failure_plan(plan);
+    let first = network.collect_delta(0.5);
+    assert_eq!(
+        first.changed,
+        vec![NodeId(0), NodeId(1), NodeId(2), NodeId(5), NodeId(6)],
+        "{driver}: the first round under dropout must report exactly the live nodes"
+    );
+    network.set_failure_plan(FailurePlan::none());
+    let catch_up = network.collect_delta(0.5);
+    assert_eq!(
+        catch_up.changed,
+        vec![NodeId(3), NodeId(4)],
+        "{driver}: a catch-up round must report exactly the revived nodes"
+    );
+    assert!(
+        catch_up.revision > first.revision,
+        "{driver}: a catch-up round must advance the revision"
+    );
+    let idle = network.collect_delta(0.5);
+    assert_eq!(
+        idle,
+        RoundDelta {
+            delivered: 0,
+            changed: Vec::new(),
+            revision: catch_up.revision,
+        },
+        "{driver}: a redundant round must report an empty delta at the same revision"
+    );
+
     // The shared failure scenario, for cross-driver comparison.
-    let (failure_station, failure_cost, _) =
+    let (failure_station, failure_cost, _, failure_deltas) =
         run_schedule(Some(canonical_failure_plan()), &[0.4, 0.8]);
 
     ConformanceReport {
@@ -385,6 +490,8 @@ where
         clean_cost,
         failure_station,
         failure_cost,
+        clean_deltas,
+        failure_deltas,
     }
 }
 
@@ -428,6 +535,16 @@ pub fn assert_drivers_agree(reports: &[ConformanceReport]) {
         assert_eq!(
             first.failure_cost.lost_messages, other.failure_cost.lost_messages,
             "{} vs {}: drivers must lose the same messages under one plan",
+            first.driver, other.driver
+        );
+        assert_eq!(
+            first.clean_deltas, other.clean_deltas,
+            "{} vs {}: clean round deltas must be byte-identical",
+            first.driver, other.driver
+        );
+        assert_eq!(
+            first.failure_deltas, other.failure_deltas,
+            "{} vs {}: round deltas under one failure plan must be byte-identical",
             first.driver, other.driver
         );
     }

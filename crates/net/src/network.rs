@@ -113,6 +113,28 @@ impl CostMeter {
     }
 }
 
+/// What one collection round changed, as seen through the delta
+/// contract (§12 of DESIGN.md).
+///
+/// A round's delta is *derived from the station's revision journal*
+/// ([`BaseStation::changed_since`]), not from driver-internal
+/// bookkeeping: every driver mutates station state exclusively through
+/// [`BaseStation::ingest`], so for byte-identical rounds every driver
+/// reports byte-identical deltas. The conformance kit
+/// ([`crate::conformance`]) pins this across flat/threaded/tree.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RoundDelta {
+    /// Sample entries delivered to the station this round.
+    pub delivered: usize,
+    /// Nodes whose station record changed this round, in node-id order.
+    /// Empty for a round in which every message was lost or redundant.
+    pub changed: Vec<NodeId>,
+    /// The station revision after the round; consumers store this and
+    /// pass it back to [`BaseStation::changed_since`] to resynchronise
+    /// incrementally.
+    pub revision: u64,
+}
+
 /// A driver-agnostic view of a sampling network.
 ///
 /// All three drivers — [`FlatNetwork`] (single-threaded, one synchronous
@@ -172,6 +194,36 @@ pub trait Network {
     fn top_up(&mut self, target: f64) -> Option<usize> {
         if self.station().effective_probability() < target {
             Some(self.collect_samples(target.clamp(f64::MIN_POSITIVE, 1.0)))
+        } else {
+            None
+        }
+    }
+
+    /// Runs one collection round and reports its [`RoundDelta`]: the
+    /// exact set of nodes whose station record changed, instead of
+    /// forcing the consumer to treat the whole station as dirty.
+    ///
+    /// Provided for every driver by bracketing
+    /// [`Network::collect_samples`] with the station's revision journal;
+    /// drivers must not override this with driver-local bookkeeping (the
+    /// journal is what keeps flat/threaded/tree deltas byte-identical).
+    fn collect_delta(&mut self, target: f64) -> RoundDelta {
+        let before = self.station().revision();
+        let delivered = self.collect_samples(target);
+        let station = self.station();
+        RoundDelta {
+            delivered,
+            changed: station.changed_since(before),
+            revision: station.revision(),
+        }
+    }
+
+    /// The delta-reporting form of [`Network::top_up`]: `Some(delta)`
+    /// for a round that actually ran, `None` when the existing sample
+    /// already meets `target`.
+    fn top_up_delta(&mut self, target: f64) -> Option<RoundDelta> {
+        if self.station().effective_probability() < target {
+            Some(self.collect_delta(target.clamp(f64::MIN_POSITIVE, 1.0)))
         } else {
             None
         }
