@@ -163,6 +163,11 @@ const PARALLEL_MERGE_MIN_ENTRIES: usize = 1 << 15;
 /// Merges every source's entries into one deterministic value-sorted run,
 /// sharding contiguous source groups over crossbeam scoped threads once
 /// the input is large enough to amortize the fan-out.
+///
+/// # Panics
+///
+/// Only to propagate a panic from a merge worker thread; the merge
+/// itself does not panic.
 fn parallel_merge(sources: &[RunSource<'_>]) -> Vec<MergedEntry> {
     let total_entries: usize = sources.iter().map(|s| s.entries.len()).sum();
     if total_entries < PARALLEL_MERGE_MIN_ENTRIES {

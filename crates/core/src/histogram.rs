@@ -203,6 +203,7 @@ fn bucket_estimates<E: RangeCountEstimator>(
 ///   non-ascending pair;
 /// * [`CoreError::NoSamples`] — the station holds nothing;
 /// * [`CoreError::Dp`] — `ε = 0`.
+// prc-lint: allow(F001, reason = "standalone release API: the draws are paid for by the explicit epsilon argument the caller supplies, outside the broker's reservation ledger")
 pub fn private_histogram<E, R>(
     estimator: &E,
     station: &BaseStation,

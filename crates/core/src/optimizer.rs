@@ -324,6 +324,11 @@ fn sweep_grid(
 /// * [`CoreError::InfeasibleAccuracy`] — no grid point satisfies the
 ///   constraints; the error carries the sampling probability that would
 ///   make the demand feasible so the broker can top up.
+///
+/// # Panics
+///
+/// Only to propagate a panic from a worker thread during the parallel
+/// grid sweep; the sweep itself does not panic.
 pub fn optimize(
     accuracy: Accuracy,
     p: f64,

@@ -41,6 +41,12 @@ struct Pending {
 }
 
 /// Runs a batch of requests through the staged pipeline.
+///
+/// # Panics
+///
+/// Only to propagate a panic from a worker thread during the parallel
+/// estimate phase, or if the tier scheduler violates its own invariant
+/// and leaves a member's slot unfilled.
 pub fn run_batch<E, N>(broker: &mut DataBroker<E, N>, requests: &[QueryRequest]) -> BatchReport
 where
     E: RangeCountEstimator + Sync,

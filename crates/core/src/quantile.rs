@@ -88,6 +88,7 @@ pub struct PrivateQuantile {
 ///   `steps = 0`;
 /// * [`CoreError::NoSamples`] — the station holds nothing;
 /// * [`CoreError::Dp`] — `ε = 0`.
+// prc-lint: allow(F001, reason = "standalone release API: the draws are paid for by the explicit epsilon in the caller's QuantileConfig, outside the broker's reservation ledger")
 pub fn private_quantile<E, R>(
     estimator: &E,
     station: &BaseStation,

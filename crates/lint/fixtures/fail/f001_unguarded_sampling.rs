@@ -1,0 +1,19 @@
+// prc-lint-fixture: path = crates/dp/src/laplace.rs
+//! A sampling primitive, sanctioned inside the substrate.
+
+pub fn draw_centered<R>(dist: &Laplace, rng: &mut R) -> f64 {
+    dist.sample(rng)
+}
+
+// prc-lint-fixture: path = crates/core/src/release.rs
+//! A library entry point that reaches the primitive with no
+//! reservation holder anywhere on the path (F001), and a function
+//! that acquires a hold and lets it leak (also F001).
+
+pub fn leak_noise<R>(dist: &Laplace, rng: &mut R) -> f64 {
+    prc_dp::laplace::draw_centered(dist, rng)
+}
+
+pub fn grab_budget(ledger: &mut Ledger) {
+    ledger.reserve(1.0);
+}

@@ -1,0 +1,13 @@
+// prc-lint-fixture: path = crates/core/src/broker.rs
+//! The broker is a deterministic-path root; the helper it calls lives
+//! outside the scope, where the per-file D002 pass cannot see it.
+
+pub fn answer() -> u64 {
+    crate::util::stamp()
+}
+
+// prc-lint-fixture: path = crates/core/src/util.rs
+
+pub fn stamp() -> u64 {
+    secs(SystemTime::now())
+}

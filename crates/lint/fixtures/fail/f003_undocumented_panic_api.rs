@@ -1,0 +1,12 @@
+// prc-lint-fixture: path = crates/core/src/util.rs
+//! The private helper's panic is sanctioned by a reasoned allow, but
+//! the public function that can reach it documents nothing.
+
+fn join_worker(handle: Handle) -> u64 {
+    // prc-lint: allow(P002, reason = "re-raises a worker panic; no sound recovery exists")
+    handle.join().expect("worker panicked")
+}
+
+pub fn merge_all(handle: Handle) -> u64 {
+    join_worker(handle)
+}

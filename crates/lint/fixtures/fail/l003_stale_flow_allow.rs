@@ -1,0 +1,7 @@
+// prc-lint-fixture: path = crates/core/src/util.rs
+//! A reasoned flow-rule allow that suppresses nothing is stale.
+
+pub fn checksum(values: &[u64]) -> u64 {
+    // prc-lint: allow(F002, reason = "ordered iteration is deterministic")
+    values.iter().sum()
+}

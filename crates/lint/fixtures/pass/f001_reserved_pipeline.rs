@@ -1,0 +1,17 @@
+// prc-lint-fixture: path = crates/dp/src/laplace.rs
+//! A sampling primitive, sanctioned inside the substrate.
+
+pub fn draw_centered<R>(dist: &Laplace, rng: &mut R) -> f64 {
+    dist.sample(rng)
+}
+
+// prc-lint-fixture: path = crates/core/src/pipeline/stages.rs
+//! The pipeline stage holds a reservation across the draw and
+//! resolves it, so the chain below it is budget-protected.
+
+pub fn perturb<R>(ledger: &mut Ledger, dist: &Laplace, rng: &mut R) -> f64 {
+    let reservation: Reservation = ledger.reserve(1.0);
+    let noise = prc_dp::laplace::draw_centered(dist, rng);
+    reservation.commit();
+    noise
+}

@@ -1,0 +1,17 @@
+// prc-lint-fixture: path = crates/core/src/broker.rs
+//! A helper reachable from the deterministic path is fine as long as
+//! it sticks to ordered containers and takes no wall-clock reads.
+
+pub fn answer(values: &[u64]) -> u64 {
+    crate::util::checksum(values)
+}
+
+// prc-lint-fixture: path = crates/core/src/util.rs
+
+pub fn checksum(values: &[u64]) -> u64 {
+    let mut ordered = BTreeSet::new();
+    for v in values {
+        ordered.insert(*v);
+    }
+    ordered.into_iter().sum()
+}

@@ -1,0 +1,17 @@
+// prc-lint-fixture: path = crates/core/src/util.rs
+//! The public boundary documents the panic contract, which absorbs
+//! the taint from the sanctioned site below it.
+
+fn join_worker(handle: Handle) -> u64 {
+    // prc-lint: allow(P002, reason = "re-raises a worker panic; no sound recovery exists")
+    handle.join().expect("worker panicked")
+}
+
+/// Joins the worker and merges its result.
+///
+/// # Panics
+///
+/// Propagates a panic from the worker thread.
+pub fn merge_all(handle: Handle) -> u64 {
+    join_worker(handle)
+}

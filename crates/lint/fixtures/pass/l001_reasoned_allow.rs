@@ -1,6 +1,11 @@
 // prc-lint-fixture: path = crates/net/src/pool.rs
 //! A reasoned allow documents the one sound panic.
 
+/// Joins the worker and returns its result.
+///
+/// # Panics
+///
+/// Propagates a panic from the worker thread.
 pub fn join(handle: Handle) -> u64 {
     // prc-lint: allow(P002, reason = "re-raises a worker panic; no sound recovery exists")
     handle.join().expect("worker panicked")

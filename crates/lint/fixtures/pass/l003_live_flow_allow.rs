@@ -1,0 +1,14 @@
+// prc-lint-fixture: path = crates/core/src/broker.rs
+//! A flow-rule allow that suppresses a real interprocedural finding
+//! is live, not stale.
+
+pub fn answer() -> u64 {
+    crate::util::stamp()
+}
+
+// prc-lint-fixture: path = crates/core/src/util.rs
+
+pub fn stamp() -> u64 {
+    // prc-lint: allow(F002, reason = "epoch stamp is advisory metadata, not part of the released answer bytes")
+    secs(SystemTime::now())
+}

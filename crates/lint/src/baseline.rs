@@ -1,0 +1,138 @@
+//! Baseline files for gradual adoption.
+//!
+//! A baseline is a plain-text inventory of accepted findings, one per
+//! line as `RULE<TAB>path<TAB>snippet` (`#` starts a comment). Matching
+//! deliberately ignores line numbers: refactors that move an accepted
+//! finding within its file don't churn the baseline, while changing the
+//! offending line's text (or fixing it) does. `--write-baseline` emits
+//! the current findings in this format; `--baseline` filters them.
+
+use crate::rules::Finding;
+
+/// One accepted finding.
+#[derive(Debug, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Rule id, e.g. `F003`.
+    pub rule: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// The offending line's trimmed text.
+    pub snippet: String,
+}
+
+/// Parses a baseline document. Malformed lines (fewer than three
+/// tab-separated fields) are reported by 1-based line number.
+///
+/// # Errors
+///
+/// Returns every malformed line in one message.
+pub fn parse(content: &str) -> Result<Vec<BaselineEntry>, String> {
+    let mut entries = Vec::new();
+    let mut bad = Vec::new();
+    for (idx, line) in content.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.splitn(3, '\t');
+        match (fields.next(), fields.next(), fields.next()) {
+            (Some(rule), Some(path), Some(snippet)) if !rule.trim().is_empty() => {
+                entries.push(BaselineEntry {
+                    rule: rule.trim().to_owned(),
+                    path: path.trim().to_owned(),
+                    snippet: snippet.trim().to_owned(),
+                });
+            }
+            _ => bad.push(idx + 1),
+        }
+    }
+    if bad.is_empty() {
+        Ok(entries)
+    } else {
+        Err(format!(
+            "malformed baseline line{} {:?}: expected RULE<TAB>path<TAB>snippet",
+            if bad.len() == 1 { "" } else { "s" },
+            bad
+        ))
+    }
+}
+
+/// Renders findings in baseline format.
+pub fn render(findings: &[Finding]) -> String {
+    let mut out = String::from(
+        "# prc-lint baseline: accepted findings, one per line as RULE<TAB>path<TAB>snippet.\n\
+         # Regenerate with `prc-lint --write-baseline <file>`.\n",
+    );
+    for f in findings {
+        out.push_str(&format!("{}\t{}\t{}\n", f.rule, f.path, f.snippet));
+    }
+    out
+}
+
+/// Splits findings into (new, baselined). A baseline entry matches a
+/// finding when rule, path, and trimmed snippet agree.
+pub fn partition(findings: Vec<Finding>, baseline: &[BaselineEntry]) -> (Vec<Finding>, usize) {
+    let mut fresh = Vec::new();
+    let mut suppressed = 0usize;
+    for f in findings {
+        let known = baseline
+            .iter()
+            .any(|b| b.rule == f.rule && b.path == f.path && b.snippet == f.snippet.trim());
+        if known {
+            suppressed += 1;
+        } else {
+            fresh.push(f);
+        }
+    }
+    (fresh, suppressed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, path: &str, snippet: &str) -> Finding {
+        Finding {
+            rule,
+            path: path.to_owned(),
+            line: 7,
+            snippet: snippet.to_owned(),
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn round_trips_through_render_and_parse() {
+        let findings = vec![
+            finding("F003", "crates/core/src/x.rs", "pub fn f() {"),
+            finding("P001", "crates/net/src/y.rs", "x.unwrap();"),
+        ];
+        let entries = parse(&render(&findings)).unwrap_or_default();
+        assert_eq!(entries.len(), 2);
+        let (fresh, suppressed) = partition(findings, &entries);
+        assert!(fresh.is_empty());
+        assert_eq!(suppressed, 2);
+    }
+
+    #[test]
+    fn matching_ignores_line_numbers_but_not_text() {
+        let entries = parse("F001\tcrates/core/src/x.rs\tpub fn f() {\n").unwrap_or_default();
+        let mut moved = finding("F001", "crates/core/src/x.rs", "pub fn f() {");
+        moved.line = 99;
+        let (fresh, suppressed) = partition(vec![moved], &entries);
+        assert!(fresh.is_empty());
+        assert_eq!(suppressed, 1);
+
+        let edited = finding("F001", "crates/core/src/x.rs", "pub fn g() {");
+        let (fresh, _) = partition(vec![edited], &entries);
+        assert_eq!(fresh.len(), 1);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped_and_bad_lines_reported() {
+        let ok = parse("# header\n\nF002\tcrates/a/src/b.rs\tsnippet text\n");
+        assert_eq!(ok.map(|e| e.len()), Ok(1));
+        let err = parse("not a baseline line\n");
+        assert!(err.is_err());
+    }
+}

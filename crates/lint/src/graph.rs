@@ -1,0 +1,316 @@
+//! Workspace call-graph construction over the extracted items.
+//!
+//! # Resolution and ambiguity policy
+//!
+//! The graph is resolved by name with syntactic hints, never by types,
+//! so it **over-approximates**: an edge means "may call", and a missing
+//! edge means the callee is external to the workspace (std, vendored
+//! crates) or test-only. Concretely:
+//!
+//! - **Path calls** `a::b::f(...)` resolve to workspace functions named
+//!   `f` whose impl type, file stem, module, or crate matches the last
+//!   meaningful qualifier segment (`crate`/`super`/`self` are skipped;
+//!   `prc_dp` matches the `dp` crate). No match → external, no edge.
+//! - **Method calls** `recv.m(...)` resolve to impl methods named `m` on
+//!   the inferred receiver type when the extractor inferred one and that
+//!   type defines `m` somewhere in the workspace; otherwise — the
+//!   ambiguity policy — to **every** workspace impl method named `m`.
+//!   Unknown receivers widen rather than drop, because a missed edge
+//!   would silently weaken F001/F003.
+//! - **Bare calls** `f(...)` resolve to free functions named `f` in the
+//!   same file when one exists, else to every workspace free function
+//!   named `f`.
+//!
+//! Test functions and test-path files are outside the graph entirely:
+//! interprocedural invariants govern production reachability.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::items::{Call, CallKind, FnItem};
+
+/// A function's identity: (file index, item index) into the workspace's
+/// extracted units.
+pub type FnId = (usize, usize);
+
+/// One file's extracted items under its workspace-relative path.
+pub struct FileUnit {
+    /// `/`-normalized workspace-relative path.
+    pub path: String,
+    /// Extracted `fn` items.
+    pub items: Vec<FnItem>,
+}
+
+/// The resolved workspace call graph.
+pub struct CallGraph {
+    /// Forward edges: caller → callees.
+    pub callees: BTreeMap<FnId, BTreeSet<FnId>>,
+    /// Reverse edges: callee → callers.
+    pub callers: BTreeMap<FnId, BTreeSet<FnId>>,
+}
+
+impl CallGraph {
+    /// Builds the graph over every non-test function in `units`.
+    pub fn build(units: &[FileUnit]) -> CallGraph {
+        let index = NameIndex::build(units);
+        let mut callees: BTreeMap<FnId, BTreeSet<FnId>> = BTreeMap::new();
+        let mut callers: BTreeMap<FnId, BTreeSet<FnId>> = BTreeMap::new();
+
+        for (file_idx, unit) in units.iter().enumerate() {
+            for (item_idx, item) in unit.items.iter().enumerate() {
+                if item.in_test {
+                    continue;
+                }
+                let caller: FnId = (file_idx, item_idx);
+                for call in &item.calls {
+                    for target in index.resolve(units, file_idx, call) {
+                        if target == caller {
+                            continue;
+                        }
+                        callees.entry(caller).or_default().insert(target);
+                        callers.entry(target).or_default().insert(caller);
+                    }
+                }
+            }
+        }
+        CallGraph { callees, callers }
+    }
+
+    /// Functions with no workspace callers.
+    pub fn is_root(&self, id: FnId) -> bool {
+        !self.callers.contains_key(&id)
+    }
+}
+
+/// Name-keyed candidate sets for resolution.
+struct NameIndex {
+    /// Method name → impl methods with that name.
+    methods: BTreeMap<String, Vec<FnId>>,
+    /// (impl type, method name) → methods.
+    typed_methods: BTreeMap<(String, String), Vec<FnId>>,
+    /// Free-function name → free functions with that name.
+    free: BTreeMap<String, Vec<FnId>>,
+    /// Any-function name → all functions with that name.
+    any: BTreeMap<String, Vec<FnId>>,
+}
+
+impl NameIndex {
+    fn build(units: &[FileUnit]) -> NameIndex {
+        let mut methods: BTreeMap<String, Vec<FnId>> = BTreeMap::new();
+        let mut typed_methods: BTreeMap<(String, String), Vec<FnId>> = BTreeMap::new();
+        let mut free: BTreeMap<String, Vec<FnId>> = BTreeMap::new();
+        let mut any: BTreeMap<String, Vec<FnId>> = BTreeMap::new();
+        for (file_idx, unit) in units.iter().enumerate() {
+            for (item_idx, item) in unit.items.iter().enumerate() {
+                if item.in_test {
+                    continue;
+                }
+                let id: FnId = (file_idx, item_idx);
+                any.entry(item.name.clone()).or_default().push(id);
+                match &item.impl_type {
+                    Some(ty) => {
+                        methods.entry(item.name.clone()).or_default().push(id);
+                        typed_methods
+                            .entry((ty.clone(), item.name.clone()))
+                            .or_default()
+                            .push(id);
+                    }
+                    None => free.entry(item.name.clone()).or_default().push(id),
+                }
+            }
+        }
+        NameIndex {
+            methods,
+            typed_methods,
+            free,
+            any,
+        }
+    }
+
+    fn resolve(&self, units: &[FileUnit], caller_file: usize, call: &Call) -> Vec<FnId> {
+        match &call.kind {
+            CallKind::Bare => {
+                let candidates = match self.free.get(&call.name) {
+                    Some(c) => c,
+                    None => return Vec::new(),
+                };
+                let local: Vec<FnId> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|(f, _)| *f == caller_file)
+                    .collect();
+                if local.is_empty() {
+                    candidates.clone()
+                } else {
+                    local
+                }
+            }
+            CallKind::Method { recv } => {
+                if let Some(ty) = recv {
+                    if let Some(c) = self.typed_methods.get(&(ty.clone(), call.name.clone())) {
+                        return c.clone();
+                    }
+                    // The inferred type defines no such method anywhere:
+                    // the call is external (e.g. `handle.join()`), unless
+                    // the name exists on other workspace types — then the
+                    // inference was likely wrong, so widen.
+                }
+                self.methods.get(&call.name).cloned().unwrap_or_default()
+            }
+            CallKind::Path { qualifier } => {
+                let seg = qualifier
+                    .iter()
+                    .rev()
+                    .find(|s| !matches!(s.as_str(), "crate" | "super" | "self"));
+                let candidates = match self.any.get(&call.name) {
+                    Some(c) => c,
+                    None => return Vec::new(),
+                };
+                match seg {
+                    Some(seg) => candidates
+                        .iter()
+                        .copied()
+                        .filter(|&id| qualifier_matches(units, id, seg))
+                        .collect(),
+                    // `crate::f(...)` / `self::f(...)`: any free fn name.
+                    None => candidates
+                        .iter()
+                        .copied()
+                        .filter(|&(f, i)| units[f].items[i].impl_type.is_none())
+                        .collect(),
+                }
+            }
+        }
+    }
+}
+
+/// Whether a path qualifier segment plausibly names the unit holding
+/// `id`: its impl type, its file stem, an enclosing inline module, or
+/// its crate (`prc_dp` ↔ `crates/dp/`).
+fn qualifier_matches(units: &[FileUnit], id: FnId, seg: &str) -> bool {
+    let (file_idx, item_idx) = id;
+    let unit = &units[file_idx];
+    let item = &unit.items[item_idx];
+    if item.impl_type.as_deref() == Some(seg) {
+        return true;
+    }
+    if item.modules.iter().any(|m| m == seg) {
+        return true;
+    }
+    let components: Vec<&str> = unit.path.split('/').collect();
+    let stem = components
+        .last()
+        .and_then(|f| f.strip_suffix(".rs"))
+        .unwrap_or("");
+    if stem == seg
+        || (stem == "mod" && components.len() >= 2 && components[components.len() - 2] == seg)
+    {
+        return true;
+    }
+    let crate_name = match (components.first(), components.get(1)) {
+        (Some(&"crates"), Some(name)) => *name,
+        (Some(&"src"), _) => "prc",
+        _ => "",
+    };
+    let normalized = seg.strip_prefix("prc_").unwrap_or(seg);
+    !crate_name.is_empty() && normalized == crate_name
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::extract;
+    use crate::scanner::scan;
+
+    fn units(files: &[(&str, &str)]) -> Vec<FileUnit> {
+        files
+            .iter()
+            .map(|(path, src)| FileUnit {
+                path: (*path).to_owned(),
+                items: extract(&scan(src)),
+            })
+            .collect()
+    }
+
+    fn names(units: &[FileUnit], ids: &BTreeSet<FnId>) -> Vec<String> {
+        ids.iter()
+            .map(|&(f, i)| units[f].items[i].name.clone())
+            .collect()
+    }
+
+    #[test]
+    fn bare_calls_prefer_same_file() {
+        let u = units(&[
+            (
+                "crates/a/src/lib.rs",
+                "fn caller() { helper(); }\nfn helper() {}\n",
+            ),
+            ("crates/b/src/lib.rs", "fn helper() {}\n"),
+        ]);
+        let g = CallGraph::build(&u);
+        let callees = g.callees.get(&(0, 0)).cloned().unwrap_or_default();
+        assert_eq!(callees, BTreeSet::from([(0, 1)]));
+    }
+
+    #[test]
+    fn path_calls_match_crate_and_file_qualifiers() {
+        let u = units(&[
+            (
+                "crates/core/src/pipeline/stages.rs",
+                "fn perturb() { prc_dp::laplace::draw_centered(1.0); }\n",
+            ),
+            (
+                "crates/dp/src/laplace.rs",
+                "pub fn draw_centered(s: f64) {}\n",
+            ),
+            ("crates/net/src/laplace.rs", "pub fn other() {}\n"),
+        ]);
+        let g = CallGraph::build(&u);
+        let callees = g.callees.get(&(0, 0)).cloned().unwrap_or_default();
+        assert_eq!(names(&u, &callees), vec!["draw_centered"]);
+    }
+
+    #[test]
+    fn typed_method_calls_do_not_widen() {
+        let u = units(&[(
+            "crates/core/src/pipeline/mod.rs",
+            "struct A; struct B;\nimpl A { fn run(&self) {} }\nimpl B { fn run(&self) {} }\nfn drive() { A { }.run(); }\n",
+        )]);
+        let g = CallGraph::build(&u);
+        let callees = g.callees.get(&(0, 2)).cloned().unwrap_or_default();
+        assert_eq!(callees.len(), 1);
+        let (_, i) = callees.iter().next().copied().unwrap_or((0, 0));
+        assert_eq!(u[0].items[i].impl_type.as_deref(), Some("A"));
+    }
+
+    #[test]
+    fn unknown_receiver_widens_to_all_candidates() {
+        let u = units(&[(
+            "crates/core/src/x.rs",
+            "struct A; struct B;\nimpl A { fn go(&self) {} }\nimpl B { fn go(&self) {} }\nfn drive(x: &dyn G) { x.go(); }\n",
+        )]);
+        let g = CallGraph::build(&u);
+        let callees = g.callees.get(&(0, 2)).cloned().unwrap_or_default();
+        assert_eq!(callees.len(), 2);
+    }
+
+    #[test]
+    fn external_calls_produce_no_edges() {
+        let u = units(&[(
+            "crates/core/src/x.rs",
+            "fn f(h: Handle) { h.join(); std::mem::drop(h); }\n",
+        )]);
+        let g = CallGraph::build(&u);
+        assert!(g.callees.is_empty());
+    }
+
+    #[test]
+    fn test_functions_are_outside_the_graph() {
+        let u = units(&[(
+            "crates/core/src/x.rs",
+            "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() { prod(); }\n}\n",
+        )]);
+        let g = CallGraph::build(&u);
+        assert!(g.callees.is_empty());
+        assert!(g.is_root((0, 0)));
+    }
+}

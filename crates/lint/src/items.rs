@@ -1,0 +1,575 @@
+//! Per-file item extraction: modules, `impl` blocks, `fn` items, and
+//! the call expressions inside them.
+//!
+//! The extractor walks the token stream from [`crate::lexer`] with an
+//! explicit context stack (module / impl / fn / other-brace), so every
+//! call site is attributed to its innermost enclosing function and every
+//! function knows its impl type and module path. It is a heuristic
+//! parser — no type checking, no name resolution — but the shapes it
+//! recognizes (path-qualified calls, method calls with a literal or
+//! constructor receiver, struct-literal stage invocations) cover the
+//! idioms this workspace actually uses; [`crate::graph`] documents the
+//! ambiguity policy for everything else.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{lex, Kind, Token};
+use crate::scanner::ScannedFile;
+
+/// One `fn` item extracted from a file.
+#[derive(Debug)]
+pub struct FnItem {
+    /// The function's bare name.
+    pub name: String,
+    /// The `impl` (or `trait`) type the function is defined on, if any.
+    pub impl_type: Option<String>,
+    /// Names of the inline modules enclosing the definition.
+    pub modules: Vec<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// 1-based inclusive line span of the body, when the item has one.
+    pub body: Option<(usize, usize)>,
+    /// Unrestricted `pub` (not `pub(crate)` / `pub(super)`).
+    pub is_pub: bool,
+    /// Defined inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+    /// Every identifier appearing in the signature or body.
+    pub idents: BTreeSet<String>,
+    /// Call expressions inside the body, in source order.
+    pub calls: Vec<Call>,
+}
+
+/// One call expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Call {
+    /// 1-based line of the callee name.
+    pub line: usize,
+    /// The callee's bare name.
+    pub name: String,
+    /// How the call was spelled, for resolution.
+    pub kind: CallKind,
+}
+
+/// The syntactic shape of a call, driving resolution in [`crate::graph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallKind {
+    /// `name(...)` — a free-function call (or tuple-struct literal).
+    Bare,
+    /// `recv.name(...)` — a method call; `recv` is the inferred receiver
+    /// type name when the receiver is `self`, a struct literal, or a
+    /// `Type::ctor(...)` chain, else `None`.
+    Method { recv: Option<String> },
+    /// `a::b::name(...)` — a path-qualified call with its qualifier
+    /// segments (`crate`/`super`/`self` kept verbatim).
+    Path { qualifier: Vec<String> },
+}
+
+/// Context-stack entry: what the innermost unmatched `{` opened.
+enum Ctx {
+    Mod(String),
+    Impl(String),
+    Fn(usize),
+    Other,
+}
+
+/// Words that look like `ident(` but never name a workspace function.
+const NON_CALL_WORDS: [&str; 24] = [
+    "fn", "if", "while", "for", "match", "return", "loop", "in", "as", "let", "mut", "ref", "move",
+    "impl", "pub", "where", "unsafe", "else", "break", "continue", "use", "dyn", "box", "yield",
+];
+
+/// Extracts every `fn` item (with its calls) from a scanned file.
+pub fn extract(scanned: &ScannedFile) -> Vec<FnItem> {
+    let tokens = lex(scanned);
+    let mut items: Vec<FnItem> = Vec::new();
+    let mut stack: Vec<Ctx> = Vec::new();
+    let mut i = 0usize;
+
+    while i < tokens.len() {
+        let t = &tokens[i];
+
+        // Attributes carry call-shaped tokens (`#[cfg(test)]`); skip them.
+        if t.is_punct('#') {
+            let mut j = i + 1;
+            if tokens.get(j).is_some_and(|t| t.is_punct('!')) {
+                j += 1;
+            }
+            if tokens.get(j).is_some_and(|t| t.is_punct('[')) {
+                i = skip_balanced(&tokens, j, '[', ']');
+                continue;
+            }
+        }
+
+        if t.is_ident("mod") {
+            if let Some(name) = tokens.get(i + 1).and_then(Token::ident) {
+                let mut j = i + 2;
+                while j < tokens.len() && !tokens[j].is_punct('{') && !tokens[j].is_punct(';') {
+                    j += 1;
+                }
+                if tokens.get(j).is_some_and(|t| t.is_punct('{')) {
+                    stack.push(Ctx::Mod(name.to_owned()));
+                }
+                i = j + 1;
+                continue;
+            }
+        }
+
+        if t.is_ident("impl") || t.is_ident("trait") {
+            if let Some((ty, after)) = parse_impl_header(&tokens, i) {
+                if tokens.get(after).is_some_and(|t| t.is_punct('{')) {
+                    stack.push(Ctx::Impl(ty));
+                    i = after + 1;
+                    continue;
+                }
+                i = after + 1;
+                continue;
+            }
+        }
+
+        if t.is_ident("fn") {
+            if let Some(name) = tokens.get(i + 1).and_then(Token::ident) {
+                let def_line = t.line;
+                let impl_type = stack.iter().rev().find_map(|c| match c {
+                    Ctx::Impl(ty) => Some(ty.clone()),
+                    _ => None,
+                });
+                let modules = stack
+                    .iter()
+                    .filter_map(|c| match c {
+                        Ctx::Mod(m) => Some(m.clone()),
+                        _ => None,
+                    })
+                    .collect();
+                let mut idents = BTreeSet::new();
+                // Signature: everything up to the body `{` (or `;` for a
+                // body-less declaration) at parenthesis depth 0.
+                let mut j = i + 2;
+                let mut paren = 0i32;
+                while j < tokens.len() {
+                    match &tokens[j].kind {
+                        Kind::Punct('(') => paren += 1,
+                        Kind::Punct(')') => paren -= 1,
+                        Kind::Punct('{') if paren == 0 => break,
+                        Kind::Punct(';') if paren == 0 => break,
+                        Kind::Ident(w) => {
+                            idents.insert(w.clone());
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let has_body = tokens.get(j).is_some_and(|t| t.is_punct('{'));
+                let body_start = tokens.get(j).map_or(def_line, |t| t.line);
+                items.push(FnItem {
+                    name: name.to_owned(),
+                    impl_type,
+                    modules,
+                    line: def_line,
+                    body: has_body.then_some((body_start, body_start)),
+                    is_pub: is_pub_at(&tokens, i),
+                    in_test: scanned.in_test.get(def_line - 1).copied().unwrap_or(false),
+                    idents,
+                    calls: Vec::new(),
+                });
+                if has_body {
+                    stack.push(Ctx::Fn(items.len() - 1));
+                }
+                i = j + 1;
+                continue;
+            }
+        }
+
+        if t.is_punct('{') {
+            stack.push(Ctx::Other);
+            i += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            if let Some(Ctx::Fn(idx)) = stack.pop() {
+                if let Some(item) = items.get_mut(idx) {
+                    if let Some((start, _)) = item.body {
+                        item.body = Some((start, t.line));
+                    }
+                }
+            }
+            i += 1;
+            continue;
+        }
+
+        // Inside a function: record identifiers and call expressions.
+        if let Some(fn_idx) = innermost_fn(&stack) {
+            if let Kind::Ident(word) = &t.kind {
+                let record = |items: &mut Vec<FnItem>, call: Option<Call>| {
+                    if let Some(item) = items.get_mut(fn_idx) {
+                        item.idents.insert(word.clone());
+                        if let Some(call) = call {
+                            item.calls.push(call);
+                        }
+                    }
+                };
+                let is_call = tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+                    && !NON_CALL_WORDS.contains(&word.as_str());
+                if is_call {
+                    let kind = classify_call(&tokens, i, &stack);
+                    record(
+                        &mut items,
+                        Some(Call {
+                            line: t.line,
+                            name: word.clone(),
+                            kind,
+                        }),
+                    );
+                } else {
+                    record(&mut items, None);
+                }
+            }
+        }
+        i += 1;
+    }
+    items
+}
+
+fn innermost_fn(stack: &[Ctx]) -> Option<usize> {
+    stack.iter().rev().find_map(|c| match c {
+        Ctx::Fn(idx) => Some(*idx),
+        _ => None,
+    })
+}
+
+/// Skips from the opening bracket at `open_idx` past its matching close,
+/// returning the index just after it.
+fn skip_balanced(tokens: &[Token], open_idx: usize, open: char, close: char) -> usize {
+    let mut depth = 0i32;
+    let mut j = open_idx;
+    while j < tokens.len() {
+        if tokens[j].is_punct(open) {
+            depth += 1;
+        } else if tokens[j].is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    tokens.len()
+}
+
+/// Walks back from the bracket at `close_idx` to its matching opener.
+fn matching_open(tokens: &[Token], close_idx: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut j = close_idx;
+    loop {
+        if tokens.get(j).is_some_and(|t| t.is_punct(close)) {
+            depth += 1;
+        } else if tokens.get(j).is_some_and(|t| t.is_punct(open)) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+        if j == 0 {
+            return None;
+        }
+        j -= 1;
+    }
+}
+
+/// Parses an `impl`/`trait` header starting at `idx`, returning the
+/// subject type name and the index of the token that ended the header
+/// (`{` or `;`). The subject is the **last** path segment before the
+/// body, taken after `for` when one is present (`impl Trait for Type`).
+fn parse_impl_header(tokens: &[Token], idx: usize) -> Option<(String, usize)> {
+    let mut j = idx + 1;
+    let mut subject: Option<String> = None;
+    let mut angle = 0i32;
+    while j < tokens.len() {
+        match &tokens[j].kind {
+            Kind::Punct('{') | Kind::Punct(';') if angle == 0 => {
+                return subject.map(|s| (s, j));
+            }
+            Kind::Punct('<') => angle += 1,
+            Kind::Punct('>') => {
+                // `->` inside generic bounds (`Fn() -> R`) is an arrow,
+                // not a close-angle.
+                let arrow = j > 0 && tokens[j - 1].is_punct('-');
+                if !arrow {
+                    angle -= 1;
+                }
+            }
+            Kind::Ident(w) if angle == 0 => {
+                if w == "for" {
+                    subject = None;
+                } else if w == "where" {
+                    // The subject is fixed once the where-clause starts.
+                    let mut k = j;
+                    while k < tokens.len() && !tokens[k].is_punct('{') && !tokens[k].is_punct(';') {
+                        k += 1;
+                    }
+                    return subject.map(|s| (s, k));
+                } else {
+                    subject = Some(w.clone());
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Visibility of the `fn` at `fn_idx`: walks back over `const` / `async`
+/// / `unsafe` / `extern "C"` qualifiers looking for an unrestricted
+/// `pub`. `pub(crate)` and friends are not public API.
+fn is_pub_at(tokens: &[Token], fn_idx: usize) -> bool {
+    let mut j = fn_idx;
+    while j > 0 {
+        j -= 1;
+        match &tokens[j].kind {
+            Kind::Ident(w) if ["const", "async", "unsafe", "extern"].contains(&w.as_str()) => {}
+            // The blanked shell of an ABI string: `extern "C"`.
+            Kind::Punct('"') => {}
+            Kind::Punct(')') => {
+                // `pub(crate) fn` — restricted visibility.
+                let open = matching_open(tokens, j, '(', ')');
+                return match open {
+                    Some(o) if o > 0 && tokens[o - 1].is_ident("pub") => false,
+                    _ => false,
+                };
+            }
+            Kind::Ident(w) if w == "pub" => return true,
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Classifies the call whose name sits at `name_idx` (followed by `(`).
+fn classify_call(tokens: &[Token], name_idx: usize, stack: &[Ctx]) -> CallKind {
+    if name_idx == 0 {
+        return CallKind::Bare;
+    }
+    let before = &tokens[name_idx - 1];
+    if before.is_punct('.') {
+        return CallKind::Method {
+            recv: infer_receiver(tokens, name_idx - 1, stack),
+        };
+    }
+    if before.kind == Kind::PathSep {
+        let mut qualifier = Vec::new();
+        let mut j = name_idx - 1;
+        while tokens.get(j).is_some_and(|t| t.kind == Kind::PathSep) && j > 0 {
+            match tokens[j - 1].kind {
+                Kind::Ident(ref seg) => {
+                    qualifier.push(resolve_self_segment(seg, stack));
+                    if j < 2 {
+                        break;
+                    }
+                    j -= 2;
+                }
+                _ => break,
+            }
+        }
+        qualifier.reverse();
+        return CallKind::Path { qualifier };
+    }
+    CallKind::Bare
+}
+
+/// `Self` in a qualifier means the enclosing impl type.
+fn resolve_self_segment(seg: &str, stack: &[Ctx]) -> String {
+    if seg == "Self" {
+        if let Some(ty) = stack.iter().rev().find_map(|c| match c {
+            Ctx::Impl(ty) => Some(ty.clone()),
+            _ => None,
+        }) {
+            return ty;
+        }
+    }
+    seg.to_owned()
+}
+
+/// Infers a method receiver's type name from the tokens before the `.`
+/// at `dot_idx`. Handles the workspace's stage-invocation idioms:
+///
+/// - `self.m(...)` → the enclosing impl type;
+/// - `Type { … }.m(...)` / `(Type { … }).m(...)` → `Type`;
+/// - `Type::ctor(...).m(...)` → `Type`;
+/// - a capitalized bare identifier → itself (unit-struct receiver).
+///
+/// Everything else returns `None`; the graph's ambiguity policy decides
+/// what an unknown receiver may resolve to.
+fn infer_receiver(tokens: &[Token], dot_idx: usize, stack: &[Ctx]) -> Option<String> {
+    if dot_idx == 0 {
+        return None;
+    }
+    let prev = &tokens[dot_idx - 1];
+    match &prev.kind {
+        Kind::Ident(w) if w == "self" => stack.iter().rev().find_map(|c| match c {
+            Ctx::Impl(ty) => Some(ty.clone()),
+            _ => None,
+        }),
+        Kind::Ident(w) if starts_upper(w) => Some(w.clone()),
+        Kind::Punct('}') => {
+            // `Type { … }.m(...)`: the ident before the matching `{`.
+            let open = matching_open(tokens, dot_idx - 1, '{', '}')?;
+            match open.checked_sub(1).map(|k| &tokens[k].kind) {
+                Some(Kind::Ident(w)) if starts_upper(w) => Some(w.clone()),
+                _ => None,
+            }
+        }
+        Kind::Punct(')') => {
+            let open = matching_open(tokens, dot_idx - 1, '(', ')')?;
+            // `Type::ctor(...).m(...)`: the path before the call's `(`.
+            if let Some(k) = open.checked_sub(1) {
+                if tokens[k].ident().is_some()
+                    && k >= 2
+                    && tokens[k - 1].kind == Kind::PathSep
+                    && tokens[k - 2].ident().is_some_and(starts_upper)
+                {
+                    return tokens[k - 2].ident().map(str::to_owned);
+                }
+            }
+            // `(Type { … }).m(...)`: the first ident inside the parens.
+            match tokens.get(open + 1).map(|t| &t.kind) {
+                Some(Kind::Ident(w)) if starts_upper(w) => Some(w.clone()),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+fn starts_upper(w: &str) -> bool {
+    w.chars().next().is_some_and(char::is_uppercase)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+
+    fn extract_src(src: &str) -> Vec<FnItem> {
+        extract(&scan(src))
+    }
+
+    #[test]
+    fn free_fn_with_bare_and_path_calls() {
+        let items = extract_src(
+            "pub fn top(x: u64) -> u64 {\n    helper(x);\n    crate::pipeline::batch::run_batch(x)\n}\nfn helper(x: u64) -> u64 { x }\n",
+        );
+        assert_eq!(items.len(), 2);
+        let top = &items[0];
+        assert_eq!(top.name, "top");
+        assert!(top.is_pub);
+        assert_eq!(top.body, Some((1, 4)));
+        assert_eq!(top.calls.len(), 2);
+        assert_eq!(top.calls[0].kind, CallKind::Bare);
+        assert_eq!(
+            top.calls[1].kind,
+            CallKind::Path {
+                qualifier: vec!["crate".into(), "pipeline".into(), "batch".into()]
+            }
+        );
+        assert!(!items[1].is_pub);
+    }
+
+    #[test]
+    fn impl_methods_carry_their_type_and_self_receiver() {
+        let items = extract_src(
+            "impl<E: Clone> QuerySession<'_, E> {\n    pub fn run(&mut self) {\n        self.step();\n        Self::finish();\n    }\n    fn step(&self) {}\n}\n",
+        );
+        assert_eq!(items[0].impl_type.as_deref(), Some("QuerySession"));
+        assert_eq!(
+            items[0].calls[0].kind,
+            CallKind::Method {
+                recv: Some("QuerySession".into())
+            }
+        );
+        assert_eq!(
+            items[0].calls[1].kind,
+            CallKind::Path {
+                qualifier: vec!["QuerySession".into()]
+            }
+        );
+    }
+
+    #[test]
+    fn trait_impl_subject_is_the_for_type() {
+        let items = extract_src(
+            "impl RangeCountEstimator for CentralizedEstimator {\n    fn estimate(&self) -> f64 { 0.0 }\n}\n",
+        );
+        assert_eq!(items[0].impl_type.as_deref(), Some("CentralizedEstimator"));
+    }
+
+    #[test]
+    fn struct_literal_stage_receivers_are_inferred() {
+        let items = extract_src(
+            "fn drive(b: &mut B) {\n    Collect { p: 0.5 }.run(b);\n    (Admit { q }).run(b)?;\n    QuerySession::new(b).run(q);\n}\n",
+        );
+        let recvs: Vec<Option<String>> = items[0]
+            .calls
+            .iter()
+            .filter_map(|c| match &c.kind {
+                CallKind::Method { recv } if c.name == "run" => Some(recv.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            recvs,
+            vec![
+                Some("Collect".into()),
+                Some("Admit".into()),
+                Some("QuerySession".into())
+            ]
+        );
+        // `QuerySession::new` itself is also a path call.
+        assert!(items[0].calls.iter().any(|c| c.name == "new"
+            && c.kind
+                == CallKind::Path {
+                    qualifier: vec!["QuerySession".into()]
+                }));
+    }
+
+    #[test]
+    fn attributes_and_macros_do_not_become_calls() {
+        let items = extract_src(
+            "#[cfg(feature = \"x\")]\npub fn f() {\n    assert_eq!(1, 1);\n    vec![1, 2];\n}\n",
+        );
+        assert!(items[0].calls.is_empty());
+    }
+
+    #[test]
+    fn nested_modules_and_restricted_visibility() {
+        let items = extract_src(
+            "mod outer {\n    mod inner {\n        pub(crate) fn g() {}\n        pub fn h() {}\n    }\n}\n",
+        );
+        assert_eq!(items[0].modules, vec!["outer", "inner"]);
+        assert!(!items[0].is_pub);
+        assert!(items[1].is_pub);
+    }
+
+    #[test]
+    fn test_region_functions_are_marked() {
+        let items =
+            extract_src("fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() { prod(); }\n}\n");
+        assert!(!items[0].in_test);
+        assert!(items[1].in_test);
+    }
+
+    #[test]
+    fn idents_cover_signature_and_body() {
+        let items = extract_src(
+            "fn settle(r: Reservation) -> Result<(), E> {\n    accountant.commit(r)\n}\n",
+        );
+        assert!(items[0].idents.contains("Reservation"));
+        assert!(items[0].idents.contains("commit"));
+    }
+
+    #[test]
+    fn bodyless_declarations_have_no_span() {
+        let items = extract_src("trait T {\n    fn required(&self) -> u64;\n}\n");
+        assert_eq!(items[0].body, None);
+        assert_eq!(items[0].impl_type.as_deref(), Some("T"));
+    }
+}

@@ -1,0 +1,269 @@
+//! A minimal JSON reader, used to validate the linter's own SARIF and
+//! JSON output in tests.
+//!
+//! The vendor tree carries no JSON dependency, so this is a small
+//! recursive-descent parser over the subset the linter emits: objects,
+//! arrays, strings with the standard escapes, numbers, booleans, and
+//! null. Like everything else in this crate it is panic-free — parse
+//! errors are values, not aborts.
+
+use std::collections::BTreeMap;
+
+/// One parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Number(f64),
+    /// A string, unescaped.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; key order is normalized.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Member lookup, when this value is an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The elements, when this value is an array.
+    pub fn items(&self) -> &[Value] {
+        match self {
+            Value::Array(items) => items,
+            _ => &[],
+        }
+    }
+
+    /// The text, when this value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number, when this value is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a complete JSON document.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first syntax error,
+/// including trailing garbage after the top-level value.
+pub fn parse(input: &str) -> Result<Value, String> {
+    let chars: Vec<char> = input.chars().collect();
+    let mut pos = 0usize;
+    let value = parse_value(&chars, &mut pos)?;
+    skip_ws(&chars, &mut pos);
+    if pos != chars.len() {
+        return Err(format!("trailing characters at offset {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(chars: &[char], pos: &mut usize) {
+    while chars.get(*pos).is_some_and(|c| c.is_whitespace()) {
+        *pos += 1;
+    }
+}
+
+fn parse_value(chars: &[char], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(chars, pos);
+    match chars.get(*pos) {
+        Some('{') => parse_object(chars, pos),
+        Some('[') => parse_array(chars, pos),
+        Some('"') => parse_string(chars, pos).map(Value::String),
+        Some('t') => parse_literal(chars, pos, "true", Value::Bool(true)),
+        Some('f') => parse_literal(chars, pos, "false", Value::Bool(false)),
+        Some('n') => parse_literal(chars, pos, "null", Value::Null),
+        Some(c) if *c == '-' || c.is_ascii_digit() => parse_number(chars, pos),
+        Some(c) => Err(format!("unexpected `{c}` at offset {pos}", pos = *pos)),
+        None => Err("unexpected end of input".to_owned()),
+    }
+}
+
+fn parse_literal(
+    chars: &[char],
+    pos: &mut usize,
+    word: &str,
+    value: Value,
+) -> Result<Value, String> {
+    for want in word.chars() {
+        if chars.get(*pos) != Some(&want) {
+            return Err(format!("malformed literal at offset {pos}", pos = *pos));
+        }
+        *pos += 1;
+    }
+    Ok(value)
+}
+
+fn parse_number(chars: &[char], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    if chars.get(*pos) == Some(&'-') {
+        *pos += 1;
+    }
+    while chars
+        .get(*pos)
+        .is_some_and(|c| c.is_ascii_digit() || matches!(c, '.' | 'e' | 'E' | '+' | '-'))
+    {
+        *pos += 1;
+    }
+    let text: String = chars.get(start..*pos).unwrap_or_default().iter().collect();
+    text.parse::<f64>()
+        .map(Value::Number)
+        .map_err(|_| format!("malformed number `{text}` at offset {start}"))
+}
+
+fn parse_string(chars: &[char], pos: &mut usize) -> Result<String, String> {
+    if chars.get(*pos) != Some(&'"') {
+        return Err(format!("expected string at offset {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match chars.get(*pos) {
+            Some('"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some('\\') => {
+                *pos += 1;
+                match chars.get(*pos) {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('b') => out.push('\u{0008}'),
+                    Some('f') => out.push('\u{000c}'),
+                    Some('u') => {
+                        let hex: String = chars
+                            .get(*pos + 1..*pos + 5)
+                            .unwrap_or_default()
+                            .iter()
+                            .collect();
+                        let code = u32::from_str_radix(&hex, 16).map_err(|_| {
+                            format!("malformed \\u escape at offset {pos}", pos = *pos)
+                        })?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("malformed escape at offset {pos}", pos = *pos)),
+                }
+                *pos += 1;
+            }
+            Some(c) => {
+                out.push(*c);
+                *pos += 1;
+            }
+            None => return Err("unterminated string".to_owned()),
+        }
+    }
+}
+
+fn parse_array(chars: &[char], pos: &mut usize) -> Result<Value, String> {
+    *pos += 1; // consume '['
+    let mut items = Vec::new();
+    skip_ws(chars, pos);
+    if chars.get(*pos) == Some(&']') {
+        *pos += 1;
+        return Ok(Value::Array(items));
+    }
+    loop {
+        items.push(parse_value(chars, pos)?);
+        skip_ws(chars, pos);
+        match chars.get(*pos) {
+            Some(',') => {
+                *pos += 1;
+            }
+            Some(']') => {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at offset {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_object(chars: &[char], pos: &mut usize) -> Result<Value, String> {
+    *pos += 1; // consume '{'
+    let mut map = BTreeMap::new();
+    skip_ws(chars, pos);
+    if chars.get(*pos) == Some(&'}') {
+        *pos += 1;
+        return Ok(Value::Object(map));
+    }
+    loop {
+        skip_ws(chars, pos);
+        let key = parse_string(chars, pos)?;
+        skip_ws(chars, pos);
+        if chars.get(*pos) != Some(&':') {
+            return Err(format!("expected `:` at offset {pos}", pos = *pos));
+        }
+        *pos += 1;
+        let value = parse_value(chars, pos)?;
+        map.insert(key, value);
+        skip_ws(chars, pos);
+        match chars.get(*pos) {
+            Some(',') => {
+                *pos += 1;
+            }
+            Some('}') => {
+                *pos += 1;
+                return Ok(Value::Object(map));
+            }
+            _ => return Err(format!("expected `,` or `}}` at offset {pos}", pos = *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_documents() {
+        let v = parse(r#"{"a": [1, 2.5, -3], "b": {"c": "x\ny", "d": true, "e": null}}"#)
+            .unwrap_or(Value::Null);
+        assert_eq!(v.get("a").map(|a| a.items().len()), Some(3));
+        assert_eq!(
+            v.get("b").and_then(|b| b.get("c")).and_then(Value::as_str),
+            Some("x\ny")
+        );
+        assert_eq!(
+            v.get("b").and_then(|b| b.get("d")),
+            Some(&Value::Bool(true))
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1, 2,]").is_err());
+        assert!(parse("{\"a\": 1} extra").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn unicode_escapes_round_trip() {
+        let v = parse("\"\\u0041\\u00e9\"").unwrap_or(Value::Null);
+        assert_eq!(v.as_str(), Some("Aé"));
+    }
+}

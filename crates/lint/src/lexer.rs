@@ -1,0 +1,227 @@
+//! A token-level lexer over the scanner's blanked code lines.
+//!
+//! The scanner ([`crate::scanner::scan`]) already removed everything
+//! that is not code — comments and literal contents are spaces — so the
+//! lexer's job is purely structural: turn each line into identifiers
+//! and punctuation with line numbers attached, the alphabet the item
+//! extractor ([`crate::items`]) parses `mod`/`impl`/`fn`/call shapes
+//! from. Numeric literals and lifetimes carry no structure the
+//! interprocedural passes need, so they are consumed and dropped.
+
+use crate::scanner::ScannedFile;
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based source line the token starts on.
+    pub line: usize,
+    /// The token's shape.
+    pub kind: Kind,
+}
+
+/// Token kinds, at the granularity the item extractor needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Kind {
+    /// An identifier or keyword (`fn`, `DataBroker`, `run`, …).
+    Ident(String),
+    /// The path separator `::`.
+    PathSep,
+    /// Any single punctuation character (`{`, `(`, `.`, `<`, …).
+    Punct(char),
+}
+
+impl Token {
+    /// True when the token is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        matches!(&self.kind, Kind::Ident(w) if w == word)
+    }
+
+    /// True when the token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == Kind::Punct(c)
+    }
+
+    /// The identifier text, if this token is one.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            Kind::Ident(w) => Some(w),
+            _ => None,
+        }
+    }
+}
+
+/// Lexes every blanked code line of a scanned file into one flat token
+/// stream. Item boundaries never depend on line breaks, so downstream
+/// parsing treats the stream as continuous.
+pub fn lex(scanned: &ScannedFile) -> Vec<Token> {
+    let mut out = Vec::new();
+    for (idx, line) in scanned.code.iter().enumerate() {
+        let lineno = idx + 1;
+        let chars: Vec<char> = line.chars().collect();
+        let mut i = 0usize;
+        while let Some(&c) = chars.get(i) {
+            if c.is_whitespace() {
+                i += 1;
+                continue;
+            }
+            if c.is_alphabetic() || c == '_' {
+                let start = i;
+                while chars
+                    .get(i)
+                    .is_some_and(|c| c.is_alphanumeric() || *c == '_')
+                {
+                    i += 1;
+                }
+                let word: String = chars.get(start..i).unwrap_or_default().iter().collect();
+                out.push(Token {
+                    line: lineno,
+                    kind: Kind::Ident(word),
+                });
+                continue;
+            }
+            if c.is_ascii_digit() {
+                i += consume_number(chars.get(i..).unwrap_or_default());
+                continue;
+            }
+            if c == ':' && chars.get(i + 1) == Some(&':') {
+                out.push(Token {
+                    line: lineno,
+                    kind: Kind::PathSep,
+                });
+                i += 2;
+                continue;
+            }
+            if c == '\'' {
+                // A lifetime tick or the shell of a blanked char literal;
+                // either way the quote itself is structure-free.
+                i += 1;
+                continue;
+            }
+            out.push(Token {
+                line: lineno,
+                kind: Kind::Punct(c),
+            });
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Consumes a numeric literal starting at `chars[0]`, returning its
+/// length. A trailing `.` only joins the literal when a digit follows
+/// (so `x.0.method()` and `1..n` keep their dots), and type suffixes
+/// (`0u32`, `1e9f64`) are swallowed.
+fn consume_number(chars: &[char]) -> usize {
+    let mut i = 0usize;
+    while chars
+        .get(i)
+        .is_some_and(|c| c.is_ascii_alphanumeric() || *c == '_')
+    {
+        i += 1;
+    }
+    if chars.get(i) == Some(&'.') && chars.get(i + 1).is_some_and(char::is_ascii_digit) {
+        i += 1;
+        while chars
+            .get(i)
+            .is_some_and(|c| c.is_ascii_alphanumeric() || *c == '_')
+        {
+            i += 1;
+        }
+    }
+    // Exponent sign: `1e-3` / `2.5E+10`.
+    if chars
+        .get(i.wrapping_sub(1))
+        .is_some_and(|c| *c == 'e' || *c == 'E')
+        && chars.get(i).is_some_and(|c| *c == '+' || *c == '-')
+        && chars.get(i + 1).is_some_and(char::is_ascii_digit)
+    {
+        i += 1;
+        while chars.get(i).is_some_and(char::is_ascii_digit) {
+            i += 1;
+        }
+    }
+    i.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+
+    fn kinds(src: &str) -> Vec<Kind> {
+        lex(&scan(src)).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_paths_and_puncts() {
+        let toks = kinds("prc_dp::laplace::draw_centered(scale)");
+        assert_eq!(
+            toks,
+            vec![
+                Kind::Ident("prc_dp".into()),
+                Kind::PathSep,
+                Kind::Ident("laplace".into()),
+                Kind::PathSep,
+                Kind::Ident("draw_centered".into()),
+                Kind::Punct('('),
+                Kind::Ident("scale".into()),
+                Kind::Punct(')'),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_are_consumed_not_tokenized() {
+        assert_eq!(
+            kinds("let x = 1.5e-3 + 0u32;"),
+            vec![
+                Kind::Ident("let".into()),
+                Kind::Ident("x".into()),
+                Kind::Punct('='),
+                Kind::Punct('+'),
+                Kind::Punct(';'),
+            ]
+        );
+    }
+
+    #[test]
+    fn tuple_field_method_calls_survive() {
+        // `x.0.sample(rng)` must keep the `.sample` tokens: the literal
+        // `0` ends before the second dot.
+        let toks = kinds("x.0.sample(rng)");
+        assert!(toks.windows(2).any(|w| matches!(
+            w,
+            [Kind::Punct('.'), Kind::Ident(n)] if n == "sample"
+        )));
+    }
+
+    #[test]
+    fn lifetimes_and_char_shells_vanish() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'z'; }");
+        assert!(!toks.iter().any(|k| matches!(k, Kind::Punct('\''))));
+        assert!(toks.contains(&Kind::Ident("str".into())));
+    }
+
+    #[test]
+    fn lines_are_attached() {
+        let toks = lex(&scan("a\nb\nc\n"));
+        let lines: Vec<usize> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn comments_and_strings_produce_no_tokens() {
+        let toks = kinds("// panic!()\nlet m = \"thread_rng()\";\n");
+        assert_eq!(
+            toks,
+            vec![
+                Kind::Ident("let".into()),
+                Kind::Ident("m".into()),
+                Kind::Punct('='),
+                Kind::Punct('"'),
+                Kind::Punct('"'),
+                Kind::Punct(';'),
+            ]
+        );
+    }
+}

@@ -1,31 +1,50 @@
 //! Command-line entry point for `prc-lint`.
 //!
 //! ```text
-//! prc-lint [--root DIR] [--format text|json]   lint a source tree
-//! prc-lint --self-test [--fixtures DIR]        verify the fixture corpus
+//! prc-lint [--root DIR] [--format text|json|sarif]       lint a source tree
+//!          [--baseline FILE] [--write-baseline FILE]
+//! prc-lint --self-test [--fixtures DIR] [--min-fixtures N]
+//!                                                        verify the fixture corpus
 //! ```
 //!
-//! Exit codes: `0` clean, `1` findings (or failed self-test), `2` usage
-//! or I/O error.
+//! Exit codes: `0` clean (all findings baselined counts as clean), `1`
+//! findings (or failed self-test), `2` usage or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use prc_lint::{lint_tree, render_json, render_text, self_test};
+use prc_lint::{baseline, lint_tree, render_json, render_sarif, render_text, self_test};
 
 struct Options {
     root: PathBuf,
     fixtures: Option<PathBuf>,
-    json: bool,
+    format: Format,
     self_test: bool,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+    min_fixtures: Option<usize>,
 }
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
+const USAGE: &str = "usage: prc-lint [--root DIR] [--format text|json|sarif] \
+                     [--baseline FILE] [--write-baseline FILE] \
+                     [--self-test [--fixtures DIR] [--min-fixtures N]]";
 
 fn parse_args() -> Result<Options, String> {
     let mut options = Options {
         root: PathBuf::from("."),
         fixtures: None,
-        json: false,
+        format: Format::Text,
         self_test: false,
+        baseline: None,
+        write_baseline: None,
+        min_fixtures: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -43,21 +62,41 @@ fn parse_args() -> Result<Options, String> {
                 ));
             }
             "--format" => {
-                match args
+                options.format = match args
                     .next()
                     .ok_or_else(|| "--format needs a value".to_owned())?
                     .as_str()
                 {
-                    "json" => options.json = true,
-                    "text" => options.json = false,
+                    "json" => Format::Json,
+                    "text" => Format::Text,
+                    "sarif" => Format::Sarif,
                     other => return Err(format!("unknown format `{other}`")),
-                }
+                };
+            }
+            "--baseline" => {
+                options.baseline = Some(PathBuf::from(
+                    args.next()
+                        .ok_or_else(|| "--baseline needs a value".to_owned())?,
+                ));
+            }
+            "--write-baseline" => {
+                options.write_baseline =
+                    Some(PathBuf::from(args.next().ok_or_else(|| {
+                        "--write-baseline needs a value".to_owned()
+                    })?));
+            }
+            "--min-fixtures" => {
+                let value = args
+                    .next()
+                    .ok_or_else(|| "--min-fixtures needs a value".to_owned())?;
+                options.min_fixtures = Some(
+                    value
+                        .parse::<usize>()
+                        .map_err(|_| format!("--min-fixtures needs a number, got `{value}`"))?,
+                );
             }
             "--self-test" => options.self_test = true,
-            "--help" | "-h" => return Err(
-                "usage: prc-lint [--root DIR] [--format text|json] [--self-test [--fixtures DIR]]"
-                    .to_owned(),
-            ),
+            "--help" | "-h" => return Err(USAGE.to_owned()),
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
@@ -104,6 +143,12 @@ fn main() -> ExitCode {
             }
         }
         println!("{} fixtures, {} failed", results.len(), failed);
+        if let Some(min) = options.min_fixtures {
+            if results.len() < min {
+                println!("fixture gate: {} < required {min}", results.len());
+                return ExitCode::from(1);
+            }
+        }
         return if failed == 0 {
             ExitCode::SUCCESS
         } else {
@@ -118,10 +163,53 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    if options.json {
-        print!("{}", render_json(&findings));
-    } else {
-        print!("{}", render_text(&findings));
+
+    if let Some(path) = &options.write_baseline {
+        if let Err(e) = std::fs::write(path, baseline::render(&findings)) {
+            eprintln!("failed to write baseline {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "wrote {} finding{} to {}",
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" },
+            path.display()
+        );
+    }
+
+    let (findings, baselined) = match &options.baseline {
+        Some(path) => {
+            let content = match std::fs::read_to_string(path) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("failed to read baseline {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            let entries = match baseline::parse(&content) {
+                Ok(e) => e,
+                Err(msg) => {
+                    eprintln!("{}: {msg}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            baseline::partition(findings, &entries)
+        }
+        None => (findings, 0),
+    };
+
+    match options.format {
+        Format::Json => print!("{}", render_json(&findings)),
+        Format::Sarif => print!("{}", render_sarif(&findings)),
+        Format::Text => {
+            print!("{}", render_text(&findings));
+            if baselined > 0 {
+                println!(
+                    "({baselined} baselined finding{} hidden)",
+                    if baselined == 1 { "" } else { "s" }
+                );
+            }
+        }
     }
     if findings.is_empty() {
         ExitCode::SUCCESS

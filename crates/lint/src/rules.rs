@@ -15,15 +15,25 @@
 //! | P002 | no `.expect(` in library code |
 //! | P003 | no `panic!` / `unreachable!` / `todo!` / `unimplemented!` in library code |
 //! | P004 | no indexing by integer literal (`xs[0]`) in library code |
+//! | F001 | budget-flow: sampling reachable only under a reservation holder |
+//! | F002 | determinism scope propagates through calls from pipeline roots |
+//! | F003 | public API reaching a sanctioned panic documents `# Panics` |
 //! | L001 | every allow directive needs a non-empty `reason` |
-//! | L002 | allow directives must suppress something |
+//! | L002 | per-file allow directives must suppress something |
+//! | L003 | flow-rule allows (F001–F003) must suppress something |
+//!
+//! B/D/P rules are per-file and live here; F rules are interprocedural
+//! and live in [`crate::flow`] (semantics in DESIGN.md §14). L002 covers
+//! per-file rules only — whether an F-rule allow earned its keep is only
+//! decidable after the workspace passes, which is L003's job.
 //!
 //! # Allow directives
 //!
 //! `// prc-lint: allow(RULE, reason = "…")` suppresses matching findings
-//! on its own line and the line immediately below. The reason is
+//! on its own line and the line immediately below; for F001/F003 it is
+//! attached to the function whose header block it sits in. The reason is
 //! mandatory (L001) and the directive must actually suppress a finding
-//! (L002), so stale escapes can't accumulate.
+//! (L002/L003), so stale escapes can't accumulate.
 
 use crate::scanner::{scan, ScannedFile};
 
@@ -43,28 +53,93 @@ pub struct Finding {
 }
 
 /// Every rule identifier the checker can emit, in catalog order.
-pub const RULE_IDS: [&str; 12] = [
-    "B001", "B002", "B003", "D001", "D002", "D003", "P001", "P002", "P003", "P004", "L001", "L002",
+pub const RULE_IDS: [&str; 16] = [
+    "B001", "B002", "B003", "D001", "D002", "D003", "P001", "P002", "P003", "P004", "F001", "F002",
+    "F003", "L001", "L002", "L003",
+];
+
+/// One-line summaries per rule, for SARIF `rules` metadata.
+pub const RULE_SUMMARIES: [(&str, &str); 16] = [
+    ("B001", "noise sampling only inside prc-dp"),
+    ("B002", "raw distribution construction only inside prc-dp"),
+    (
+        "B003",
+        "rand dependency outside prc-dp needs a reasoned allow",
+    ),
+    ("D001", "no unordered maps in deterministic answer paths"),
+    ("D002", "no wall-clock reads in deterministic answer paths"),
+    ("D003", "no unseeded RNGs in production code"),
+    ("P001", "no .unwrap() in library code"),
+    ("P002", "no .expect( in library code"),
+    ("P003", "no panicking macros in library code"),
+    ("P004", "no indexing by integer literal in library code"),
+    (
+        "F001",
+        "sampling reachable only under a budget reservation holder",
+    ),
+    (
+        "F002",
+        "determinism scope propagates through the call graph",
+    ),
+    (
+        "F003",
+        "public API reaching a sanctioned panic documents # Panics",
+    ),
+    ("L001", "allow directives carry a non-empty reason"),
+    ("L002", "per-file allow directives suppress something"),
+    ("L003", "flow-rule allow directives suppress something"),
 ];
 
 /// The header a fixture uses to claim a virtual workspace path.
 pub const FIXTURE_PATH_HEADER: &str = "// prc-lint-fixture: path =";
 
+/// One parsed `prc-lint: allow(...)` directive.
 #[derive(Debug)]
-struct Allow {
-    line: usize,
-    rule: String,
-    has_reason: bool,
-    used: bool,
-    in_test: bool,
+pub(crate) struct Allow {
+    /// 1-based line the directive sits on.
+    pub line: usize,
+    /// The rule it names.
+    pub rule: String,
+    /// Whether a non-empty `reason = "…"` was given.
+    pub has_reason: bool,
+    /// Whether the directive suppressed any finding.
+    pub used: bool,
+    /// Whether the directive sits inside a `#[cfg(test)]` region.
+    pub in_test: bool,
 }
 
-/// Path classification, all over `/`-normalized workspace-relative paths.
-mod scope {
+/// One file's analysis state: the substrate the per-file pass produces
+/// and the interprocedural passes in [`crate::flow`] extend.
+pub struct FileAnalysis {
+    /// `/`-normalized workspace-relative (or fixture-declared) path.
+    pub path: String,
+    /// The scanned source.
+    pub scanned: ScannedFile,
+    /// Parsed allow directives with usage state.
+    pub(crate) allows: Vec<Allow>,
+    /// Per-line B/D/P findings, already filtered through the allows.
+    pub findings: Vec<Finding>,
+    /// 1-based lines where a P-rule finding was suppressed by a
+    /// *reasoned* allow — the sanctioned panic sites F003 tracks.
+    pub sanctioned: Vec<usize>,
+}
+
+/// Path classification, all over `/`-normalized workspace-relative
+/// paths, compared component-wise so sibling directories can't spoof a
+/// scope (`crates/core2/…` is not `crates/core/…`).
+pub(crate) mod scope {
+    /// Whether `path`'s leading components are exactly `prefix`.
+    fn starts_with_components(path: &str, prefix: &[&str]) -> bool {
+        let mut components = path.split('/');
+        prefix
+            .iter()
+            .all(|want| components.next().is_some_and(|got| got == *want))
+    }
+
     /// Test scope: fixtures, integration tests, benches, examples, and
     /// the whole benchmark crate are exempt from every production rule.
     pub fn is_test_path(path: &str) -> bool {
-        path.starts_with("crates/bench/")
+        starts_with_components(path, &["crates", "bench"])
             || path
                 .split('/')
                 .any(|c| c == "tests" || c == "benches" || c == "examples" || c == "fixtures")
@@ -72,7 +147,12 @@ mod scope {
 
     /// The privacy substrate, where sampling primitives are sanctioned.
     pub fn is_dp_crate(path: &str) -> bool {
-        path.starts_with("crates/dp/")
+        starts_with_components(path, &["crates", "dp"])
+    }
+
+    /// The staged pipeline, where budget reservations are held.
+    pub fn is_pipeline_path(path: &str) -> bool {
+        starts_with_components(path, &["crates", "core", "src", "pipeline"])
     }
 
     /// Deterministic answer paths: code whose emitted bytes must be a
@@ -80,8 +160,8 @@ mod scope {
     pub fn is_deterministic_path(path: &str) -> bool {
         path == "crates/core/src/broker.rs"
             || path == "crates/core/src/optimizer.rs"
-            || path.starts_with("crates/core/src/estimator/")
-            || path.starts_with("crates/core/src/pipeline/")
+            || starts_with_components(path, &["crates", "core", "src", "estimator"])
+            || is_pipeline_path(path)
             || path == "crates/net/src/base_station.rs"
             || path == "crates/net/src/tree.rs"
     }
@@ -92,21 +172,22 @@ mod scope {
         if is_test_path(path) {
             return false;
         }
-        let in_src = path.starts_with("src/") || path.contains("/src/");
-        in_src && !path.contains("/bin/") && !path.ends_with("main.rs")
+        let components: Vec<&str> = path.split('/').collect();
+        let in_src = components.contains(&"src");
+        in_src
+            && !components.contains(&"bin")
+            && components.last().is_none_or(|f| *f != "main.rs")
     }
 }
 
-/// Lints one file's source under its workspace-relative `path`.
-///
-/// When the first line carries a [`FIXTURE_PATH_HEADER`], the declared
-/// virtual path replaces `path` for scoping decisions, so the fixture
-/// corpus can exercise path-dependent rules from anywhere on disk.
-pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
+/// Runs the per-file pass over one file, leaving allow bookkeeping open
+/// for the interprocedural passes.
+pub fn analyze_file(path: &str, source: &str) -> FileAnalysis {
     let path = virtual_path(source).unwrap_or_else(|| path.replace('\\', "/"));
     let scanned = scan(source);
     let mut allows = collect_allows(&scanned);
     let mut findings = Vec::new();
+    let mut sanctioned = Vec::new();
 
     for (idx, code) in scanned.code.iter().enumerate() {
         if scanned.in_test[idx] {
@@ -114,7 +195,10 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
         }
         for (rule, message) in line_violations(&path, code) {
             let line = idx + 1;
-            if suppress(&mut allows, line, rule) {
+            if suppress_line(&mut allows, line, rule) {
+                if rule.starts_with('P') && reasoned_allow_covers(&allows, line, rule) {
+                    sanctioned.push(line);
+                }
                 continue;
             }
             findings.push(Finding {
@@ -127,16 +211,30 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
         }
     }
 
-    for allow in &allows {
+    FileAnalysis {
+        path,
+        scanned,
+        allows,
+        findings,
+        sanctioned,
+    }
+}
+
+/// Emits the allow-hygiene findings (L001 always; L002 for per-file
+/// rules; L003 is [`crate::flow`]'s job and needs the flow passes to
+/// have run first).
+pub fn allow_findings(analysis: &FileAnalysis) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for allow in &analysis.allows {
         if allow.in_test {
             continue;
         }
         if !allow.has_reason {
             findings.push(Finding {
                 rule: "L001",
-                path: path.clone(),
+                path: analysis.path.clone(),
                 line: allow.line,
-                snippet: snippet_at(&scanned, allow.line - 1),
+                snippet: snippet_at(&analysis.scanned, allow.line - 1),
                 message: format!(
                     "allow({}) must carry a non-empty reason: \
                      `prc-lint: allow({}, reason = \"…\")`",
@@ -144,12 +242,13 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
                 ),
             });
         }
-        if !allow.used {
+        let flow_rule = matches!(allow.rule.as_str(), "F001" | "F002" | "F003");
+        if !allow.used && !flow_rule {
             findings.push(Finding {
                 rule: "L002",
-                path: path.clone(),
+                path: analysis.path.clone(),
                 line: allow.line,
-                snippet: snippet_at(&scanned, allow.line - 1),
+                snippet: snippet_at(&analysis.scanned, allow.line - 1),
                 message: format!(
                     "allow({}) suppresses nothing on this line or the next — remove it",
                     allow.rule
@@ -157,7 +256,20 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
             });
         }
     }
+    findings
+}
 
+/// Lints one file's source under its workspace-relative `path`,
+/// per-file rules only (no call-graph passes; F-rule allows are left to
+/// the workspace pass and not audited here).
+///
+/// When the first line carries a [`FIXTURE_PATH_HEADER`], the declared
+/// virtual path replaces `path` for scoping decisions, so the fixture
+/// corpus can exercise path-dependent rules from anywhere on disk.
+pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
+    let analysis = analyze_file(path, source);
+    let mut findings = analysis.findings.clone();
+    findings.extend(allow_findings(&analysis));
     findings.sort_by(|a, b| (a.line, a.rule, &a.path).cmp(&(b.line, b.rule, &b.path)));
     findings
 }
@@ -283,7 +395,7 @@ fn line_violations(path: &str, code: &str) -> Vec<(&'static str, String)> {
 }
 
 /// Substring match with an identifier boundary on the left.
-fn contains_token(code: &str, token: &str) -> bool {
+pub(crate) fn contains_token(code: &str, token: &str) -> bool {
     let mut start = 0;
     while let Some(pos) = code[start..].find(token) {
         let abs = start + pos;
@@ -358,7 +470,7 @@ fn collect_allows(scanned: &ScannedFile) -> Vec<Allow> {
 }
 
 /// Marks and reports whether an allow covers (`line`, `rule`).
-fn suppress(allows: &mut [Allow], line: usize, rule: &str) -> bool {
+pub(crate) fn suppress_line(allows: &mut [Allow], line: usize, rule: &str) -> bool {
     let mut hit = false;
     for allow in allows.iter_mut() {
         if allow.rule == rule && (allow.line == line || allow.line + 1 == line) {
@@ -369,7 +481,15 @@ fn suppress(allows: &mut [Allow], line: usize, rule: &str) -> bool {
     hit
 }
 
-fn snippet_at(scanned: &ScannedFile, idx: usize) -> String {
+/// Whether a *reasoned* allow covers (`line`, `rule`) — read-only twin
+/// of [`suppress_line`] for sanctioned-panic bookkeeping.
+fn reasoned_allow_covers(allows: &[Allow], line: usize, rule: &str) -> bool {
+    allows.iter().any(|allow| {
+        allow.rule == rule && allow.has_reason && (allow.line == line || allow.line + 1 == line)
+    })
+}
+
+pub(crate) fn snippet_at(scanned: &ScannedFile, idx: usize) -> String {
     let raw = scanned.raw.get(idx).map(String::as_str).unwrap_or("");
     let trimmed = raw.trim();
     if trimmed.chars().count() > 120 {
@@ -453,6 +573,31 @@ mod tests {
     }
 
     #[test]
+    fn sibling_directories_cannot_spoof_scopes() {
+        // Component-wise comparison: `crates/core2` / `crates/dp2` /
+        // `crates/bench2` are ordinary paths, not scope members.
+        let sample = "fn f() { let v = d.sample(rng); }\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/dp2/src/x.rs", sample)),
+            vec!["B001"]
+        );
+        let hash = "use std::collections::HashMap;\n";
+        assert!(lint_source("crates/core2/src/pipeline/stages.rs", hash).is_empty());
+        let unwrap = "fn f() { x.unwrap(); }\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/bench2/src/x.rs", unwrap)),
+            vec!["P001"]
+        );
+        assert!(scope::is_test_path("crates/bench/src/x.rs"));
+        assert!(!scope::is_test_path("crates/bench2/src/x.rs"));
+        assert!(scope::is_pipeline_path("crates/core/src/pipeline/mod.rs"));
+        assert!(!scope::is_pipeline_path("crates/core/src/pipeline2/mod.rs"));
+        assert!(!scope::is_deterministic_path(
+            "crates/core/src/estimator2/x.rs"
+        ));
+    }
+
+    #[test]
     fn panic_rules_skip_bins_and_tests() {
         let src = "fn f() { x.unwrap(); }\n";
         assert_eq!(
@@ -497,6 +642,26 @@ mod tests {
             rules_of(&lint_source("crates/net/src/x.rs", src)),
             vec!["L002"]
         );
+    }
+
+    #[test]
+    fn flow_rule_allows_are_not_audited_per_file() {
+        // Whether an F-rule allow is stale is only decidable after the
+        // interprocedural passes; lint_source leaves them alone (L003
+        // covers them in the workspace pass).
+        let src = "// prc-lint: allow(F002, reason = \"pure helper\")\nfn f() {}\n";
+        assert!(lint_source("crates/net/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn sanctioned_panic_lines_are_recorded() {
+        let src = "pub fn f() {\n    // prc-lint: allow(P001, reason = \"caller checked\")\n    x.unwrap();\n}\n";
+        let analysis = analyze_file("crates/net/src/x.rs", src);
+        assert_eq!(analysis.sanctioned, vec![3]);
+        // A reasonless allow suppresses nothing sanctioned.
+        let src = "pub fn f() {\n    // prc-lint: allow(P001)\n    x.unwrap();\n}\n";
+        let analysis = analyze_file("crates/net/src/x.rs", src);
+        assert!(analysis.sanctioned.is_empty());
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! SARIF 2.1.0 output, so CI can upload findings as code-scanning
+//! annotations.
+//!
+//! The document is built by hand (the vendor tree has no JSON
+//! dependency) and validated structurally by a unit test through
+//! [`crate::json`]. One run, one driver (`prc-lint`), one result per
+//! finding with a `physicalLocation` at the finding's line.
+
+use crate::rules::{Finding, RULE_SUMMARIES};
+
+/// Renders findings as a SARIF 2.1.0 document.
+pub fn render_sarif(findings: &[Finding]) -> String {
+    let mut out = String::with_capacity(2048 + findings.len() * 256);
+    out.push_str("{\n");
+    out.push_str(
+        "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \"version\": \"2.1.0\",\n",
+    );
+    out.push_str("  \"runs\": [\n    {\n      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"prc-lint\",\n");
+    out.push_str(
+        "          \"informationUri\": \"https://github.com/prc/prc\",\n          \"rules\": [\n",
+    );
+    for (i, (id, summary)) in RULE_SUMMARIES.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}",
+            escape(id),
+            escape(summary)
+        ));
+    }
+    out.push_str("\n          ]\n        }\n      },\n      \"results\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n        {{\n          \"ruleId\": \"{}\",\n          \"level\": \"error\",\n          \"message\": {{\"text\": \"{}\"}},\n          \"locations\": [\n            {{\n              \"physicalLocation\": {{\n                \"artifactLocation\": {{\"uri\": \"{}\"}},\n                \"region\": {{\"startLine\": {}}}\n              }}\n            }}\n          ]\n        }}",
+            escape(f.rule),
+            escape(&f.message),
+            escape(&f.path),
+            f.line
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n      ");
+    }
+    out.push_str("]\n    }\n  ]\n}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Value};
+    use crate::rules::RULE_IDS;
+
+    fn sample() -> Vec<Finding> {
+        vec![Finding {
+            rule: "F003",
+            path: "crates/core/src/x.rs".to_owned(),
+            line: 7,
+            snippet: "pub fn f()".to_owned(),
+            message: "a \"quoted\" message\nwith a newline".to_owned(),
+        }]
+    }
+
+    #[test]
+    fn output_is_valid_sarif_2_1_0() {
+        let doc = parse(&render_sarif(&sample())).unwrap_or(Value::Null);
+        assert_eq!(doc.get("version").and_then(Value::as_str), Some("2.1.0"));
+        assert!(doc
+            .get("$schema")
+            .and_then(Value::as_str)
+            .is_some_and(|s| s.contains("sarif-2.1.0")));
+        let runs = doc.get("runs").map(Value::items).unwrap_or_default();
+        assert_eq!(runs.len(), 1);
+        let driver = runs
+            .first()
+            .and_then(|r| r.get("tool"))
+            .and_then(|t| t.get("driver"));
+        assert_eq!(
+            driver.and_then(|d| d.get("name")).and_then(Value::as_str),
+            Some("prc-lint")
+        );
+        let rules = driver
+            .and_then(|d| d.get("rules"))
+            .map(Value::items)
+            .unwrap_or_default();
+        assert_eq!(rules.len(), RULE_IDS.len());
+    }
+
+    #[test]
+    fn results_carry_rule_location_and_escaped_message() {
+        let doc = parse(&render_sarif(&sample())).unwrap_or(Value::Null);
+        let results = doc
+            .get("runs")
+            .map(Value::items)
+            .unwrap_or_default()
+            .first()
+            .and_then(|r| r.get("results"))
+            .map(Value::items)
+            .unwrap_or_default()
+            .to_vec();
+        assert_eq!(results.len(), 1);
+        let result = results.first().cloned().unwrap_or(Value::Null);
+        assert_eq!(result.get("ruleId").and_then(Value::as_str), Some("F003"));
+        assert_eq!(
+            result
+                .get("message")
+                .and_then(|m| m.get("text"))
+                .and_then(Value::as_str),
+            Some("a \"quoted\" message\nwith a newline")
+        );
+        let location = result
+            .get("locations")
+            .map(Value::items)
+            .unwrap_or_default()
+            .first()
+            .and_then(|l| l.get("physicalLocation"))
+            .cloned()
+            .unwrap_or(Value::Null);
+        assert_eq!(
+            location
+                .get("artifactLocation")
+                .and_then(|a| a.get("uri"))
+                .and_then(Value::as_str),
+            Some("crates/core/src/x.rs")
+        );
+        assert_eq!(
+            location
+                .get("region")
+                .and_then(|r| r.get("startLine"))
+                .and_then(Value::as_f64),
+            Some(7.0)
+        );
+    }
+
+    #[test]
+    fn empty_report_is_still_valid() {
+        let doc = parse(&render_sarif(&[])).unwrap_or(Value::Null);
+        let results = doc
+            .get("runs")
+            .map(Value::items)
+            .unwrap_or_default()
+            .first()
+            .and_then(|r| r.get("results"))
+            .map(Value::items)
+            .unwrap_or_default()
+            .len();
+        assert_eq!(results, 0);
+    }
+}

@@ -388,6 +388,45 @@ mod tests {
     }
 
     #[test]
+    fn byte_strings_are_blanked() {
+        let s = scan("let b = b\".unwrap() inside\"; ok();\n");
+        assert!(!s.code[0].contains("unwrap"));
+        assert!(s.code[0].contains("ok();"));
+        let s = scan("let rb = br#\"panic! \"x\" more\"#; ok();\n");
+        assert!(!s.code[0].contains("panic"));
+        assert!(s.code[0].contains("ok();"));
+    }
+
+    #[test]
+    fn char_literals_holding_quote_and_slashes() {
+        // A `'"'` char must not open a string, and `'/'` twice must not
+        // open a comment.
+        let s = scan("let q = '\"'; let a = '/'; let b = '/'; x.unwrap();\n");
+        assert!(s.code[0].contains("unwrap"));
+        assert!(s.comments[0].is_empty());
+        let s = scan("let esc = '\\\"'; y.expect(\"m\");\n");
+        assert!(s.code[0].contains(".expect("));
+        assert!(!s.code[0].contains('m'));
+    }
+
+    #[test]
+    fn cfg_test_spans_nested_modules() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod outer {\n    mod inner {\n        fn t() { x.unwrap(); }\n    }\n}\nfn after() {}\n";
+        let s = scan(src);
+        assert_eq!(
+            s.in_test,
+            vec![false, true, true, true, true, true, true, false]
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_multiple_hashes() {
+        let s = scan("let r = r##\"one \"# not closed\"##; done();\n");
+        assert!(!s.code[0].contains("not closed"));
+        assert!(s.code[0].contains("done();"));
+    }
+
+    #[test]
     fn preserves_line_count_and_raw_text() {
         let src = "a\nb /* c\nd */ e\nf";
         let s = scan(src);
