@@ -6,7 +6,8 @@
 //! one-request [`DataBroker::answer`] pipeline it offers a batched engine,
 //! [`DataBroker::answer_batch`], which partitions a request batch by
 //! required sampling rate, collects samples once per rate tier, fans the
-//! per-tier estimator evaluations out over crossbeam scoped threads, and
+//! per-tier estimator evaluations out over the shared
+//! [`prc_runtime::Runtime`] pool, and
 //! serves repeat requests from an arbitrage-consistent answer cache
 //! guarded by the pricing layer ([`prc_pricing::reuse`]).
 //!
@@ -515,7 +516,8 @@ impl<E: RangeCountEstimator, N: Network> DataBroker<E, N> {
     /// [`DataBroker::answer`] calls would do). Within a tier, cache
     /// lookups, perturbation planning, and budget accounting run
     /// sequentially in input order; the estimator evaluations fan out
-    /// over crossbeam scoped threads against the shared base-station
+    /// over the shared [`prc_runtime::Runtime`] pool against the shared
+    /// base-station
     /// sample; noise is then drawn sequentially in input order, keeping
     /// the whole batch deterministic in the broker's seed regardless of
     /// thread scheduling.

@@ -6,6 +6,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use prc_net::message::SampleEntry;
+use prc_runtime::{CutoffPolicy, Runtime};
 
 use crate::query::RangeQuery;
 
@@ -152,50 +153,32 @@ fn merge_shard(group: &[RunSource<'_>], dense_base: u32) -> Vec<MergedEntry> {
     merge_runs(runs, capacity)
 }
 
-/// Below this many merged entries the scoped-thread fan-out costs more
-/// than the merge itself (thread spawn/join is microseconds; so is the
-/// whole merge) — delta segments and small compactions stay on the
-/// calling thread. The sequential path assigns the same dense indices
-/// and the merge key is a total order, so the cutoff never changes the
-/// produced arrays, only who builds them.
-const PARALLEL_MERGE_MIN_ENTRIES: usize = 1 << 15;
+/// Below this many merged entries the pool fan-out costs more than the
+/// merge itself (dispatch is microseconds; so is the whole merge) —
+/// delta segments and small compactions stay on the calling thread. The
+/// sequential path assigns the same dense indices and the merge key is a
+/// total order, so the cutoff never changes the produced arrays, only
+/// who builds them.
+const MERGE_CUTOFF: CutoffPolicy = CutoffPolicy::min_work(1 << 15);
 
 /// Merges every source's entries into one deterministic value-sorted run,
-/// sharding contiguous source groups over crossbeam scoped threads once
-/// the input is large enough to amortize the fan-out.
+/// sharding contiguous source groups over the shared [`Runtime`] pool
+/// once the input is large enough to amortize the fan-out.
+///
+/// Dense node indices come from each source's global position (the
+/// chunk's input offset), so any chunking — including the sequential
+/// single chunk — produces identical runs and an identical final merge.
 ///
 /// # Panics
 ///
-/// Only to propagate a panic from a merge worker thread; the merge
+/// Only to propagate a shard worker's panic, re-raised through the
+/// runtime's single panic path ([`Runtime::map_chunked`]); the merge
 /// itself does not panic.
 fn parallel_merge(sources: &[RunSource<'_>]) -> Vec<MergedEntry> {
     let total_entries: usize = sources.iter().map(|s| s.entries.len()).sum();
-    if total_entries < PARALLEL_MERGE_MIN_ENTRIES {
-        return merge_shard(sources, 0);
-    }
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .clamp(1, 8)
-        .min(sources.len().max(1));
-    let chunk = sources.len().div_ceil(threads).max(1);
-    let runs: Vec<Vec<MergedEntry>> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = sources
-            .chunks(chunk)
-            .enumerate()
-            .map(|(g, group)| {
-                let dense_base = (g * chunk) as u32;
-                scope.spawn(move || merge_shard(group, dense_base))
-            })
-            .collect();
-        handles
-            .into_iter()
-            // prc-lint: allow(P002, reason = "re-raises a worker panic; no sound recovery exists")
-            .map(|h| h.join().expect("index shard worker panicked"))
-            .collect()
-    })
-    // prc-lint: allow(P002, reason = "re-raises a worker panic; no sound recovery exists")
-    .expect("index build scope failed");
+    let runs = Runtime::global().map_chunked(sources, total_entries, MERGE_CUTOFF, |chunk| {
+        merge_shard(chunk.items, chunk.offset as u32)
+    });
     merge_runs(runs, total_entries)
 }
 

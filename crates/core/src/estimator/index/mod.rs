@@ -89,8 +89,8 @@
 //! entries of the round's changed nodes.)
 //!
 //! Builds shard one run per node (entries are already value-sorted),
-//! k-way merge shards over crossbeam scoped threads, and accumulate the
-//! prefix/suffix arrays in one sequential pass.
+//! k-way merge shards over the shared `prc-runtime` pool, and accumulate
+//! the prefix/suffix arrays in one sequential pass.
 
 pub mod compaction;
 pub mod cost;

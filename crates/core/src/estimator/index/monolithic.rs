@@ -51,8 +51,8 @@ impl RankIndex {
     /// prefix-sum decomposition needs does not exist) — callers fall back
     /// to the per-node scan.
     ///
-    /// The build shards one sorted run per node, merges shards over
-    /// crossbeam scoped threads (one contiguous node group per worker),
+    /// The build shards one sorted run per node, merges shards over the
+    /// shared `prc-runtime` pool (one contiguous node group per chunk),
     /// k-way merges the per-worker runs, and accumulates the prefix and
     /// suffix arrays in one sequential pass: `O(S log S)` total work.
     pub fn build(station: &BaseStation) -> Option<RankIndex> {

@@ -17,10 +17,11 @@
 //! The tail constraint gives the closed form
 //! `ε(α′) = Δγ̂/((α−α′)n) · ln(δ′/(δ′−δ))`; the solver sweeps a discrete
 //! grid of `α′ ∈ (0, α)` and keeps the minimum. Grids of at least
-//! [`PARALLEL_GRID_MIN`] points are swept across crossbeam scoped
-//! threads; chunks are combined in ascending grid order with the same
-//! strict-`<` argmin and first-error rule as the sequential loop, so the
-//! returned plan (and error) is bit-identical either way.
+//! [`PARALLEL_GRID_MIN`] points are swept across the shared
+//! [`prc_runtime::Runtime`] pool; chunks are folded in ascending grid
+//! order with the same strict-`<` argmin and first-error rule as the
+//! sequential loop, so the returned plan (and error) is bit-identical
+//! either way.
 //!
 //! **Direction of the tail constraint.** The paper prints the constraint
 //! as `Pr[|Lap(ε)| ≤ (α−α′)n] ≤ δ/δ′`, but its own derivation (and the
@@ -36,6 +37,7 @@ use prc_dp::amplification::amplify;
 use prc_dp::budget::Epsilon;
 use prc_dp::laplace::required_epsilon;
 use prc_net::base_station::BaseStation;
+use prc_runtime::{CutoffPolicy, Runtime};
 
 use crate::accuracy::achieved_delta;
 use crate::error::CoreError;
@@ -265,16 +267,18 @@ pub fn plan_for_alpha_prime(
 }
 
 /// Grids of at least this many points are swept in parallel; smaller
-/// sweeps stay sequential because the thread-spawn overhead would exceed
-/// the per-point work.
+/// sweeps stay sequential because the dispatch overhead would exceed
+/// the per-point work. This is the `min_work` of [`GRID_CUTOFF`].
 pub const PARALLEL_GRID_MIN: usize = 512;
 
-/// Sweeps the contiguous grid subrange `first..=last` (of a
-/// `grid_points`-point grid), returning the feasible plan with the
-/// smallest `ε′` — ties keep the lowest grid point — or the first error.
+/// The sweep's cutoff policy, with `work` measured in grid points.
+const GRID_CUTOFF: CutoffPolicy = CutoffPolicy::min_work(PARALLEL_GRID_MIN);
+
+/// Sweeps the grid points `indices` (of a `grid_points`-point grid),
+/// returning the feasible plan with the smallest `ε′` — ties keep the
+/// lowest grid point — or the first error.
 fn sweep_grid(
-    first: usize,
-    last: usize,
+    indices: &[usize],
     grid_points: usize,
     accuracy: Accuracy,
     p: f64,
@@ -283,7 +287,7 @@ fn sweep_grid(
 ) -> Result<Option<PerturbationPlan>, CoreError> {
     let alpha = accuracy.alpha();
     let mut best: Option<PerturbationPlan> = None;
-    for j in first..=last {
+    for &j in indices {
         let alpha_prime = alpha * j as f64 / (grid_points + 1) as f64;
         if let Some(plan) = plan_for_alpha_prime(alpha_prime, accuracy, p, shape, config)? {
             let better = match &best {
@@ -327,8 +331,9 @@ fn sweep_grid(
 ///
 /// # Panics
 ///
-/// Only to propagate a panic from a worker thread during the parallel
-/// grid sweep; the sweep itself does not panic.
+/// Only to propagate a sweep worker's panic, re-raised through the
+/// runtime's single panic path ([`Runtime::reduce_ordered`]); the sweep
+/// itself does not panic.
 pub fn optimize(
     accuracy: Accuracy,
     p: f64,
@@ -340,55 +345,30 @@ pub fn optimize(
     }
     let alpha = accuracy.alpha();
     let grid_points = config.grid_points.max(2);
-    let best = if grid_points < PARALLEL_GRID_MIN {
-        sweep_grid(1, grid_points, grid_points, accuracy, p, shape, config)?
-    } else {
-        let threads = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-            .clamp(1, 8);
-        let chunk = grid_points.div_ceil(threads);
-        let partials: Vec<Result<Option<PerturbationPlan>, CoreError>> =
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = (0..threads)
-                    .map(|t| {
-                        let first = 1 + t * chunk;
-                        let last = ((t + 1) * chunk).min(grid_points);
-                        scope.spawn(move || {
-                            if first > last {
-                                Ok(None)
-                            } else {
-                                sweep_grid(first, last, grid_points, accuracy, p, shape, config)
-                            }
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    // prc-lint: allow(P002, reason = "re-raises a worker panic; no sound recovery exists")
-                    .map(|h| h.join().expect("optimizer worker panicked"))
-                    .collect()
-            })
-            // prc-lint: allow(P002, reason = "re-raises a worker panic; no sound recovery exists")
-            .expect("optimizer scope failed");
-        // Combine in ascending grid order: the earliest chunk's error
-        // wins (the sequential loop would have hit it first), and the
-        // strict `<` keeps the lowest-j plan on ε′ ties — so the result
-        // is bit-identical to the sequential sweep.
-        let mut best: Option<PerturbationPlan> = None;
-        for partial in partials {
-            if let Some(plan) = partial? {
-                let better = match &best {
-                    Some(b) => plan.effective_epsilon < b.effective_epsilon,
-                    None => true,
-                };
-                if better {
-                    best = Some(plan);
-                }
-            }
-        }
-        best
-    };
+    let grid: Vec<usize> = (1..=grid_points).collect();
+    // Fold in ascending grid order: the earliest chunk's error wins (the
+    // sequential loop would have hit it first), and the strict `<` keeps
+    // the lowest-j plan on ε′ ties — so the result is bit-identical to
+    // the sequential sweep for any chunking, including the sequential
+    // fallback below [`PARALLEL_GRID_MIN`].
+    let best = Runtime::global().reduce_ordered(
+        &grid,
+        grid_points,
+        GRID_CUTOFF,
+        |chunk| sweep_grid(chunk.items, grid_points, accuracy, p, shape, config),
+        Ok(None),
+        |best: Result<Option<PerturbationPlan>, CoreError>, partial| {
+            let best = best?;
+            let Some(plan) = partial? else {
+                return Ok(best);
+            };
+            let better = match &best {
+                Some(b) => plan.effective_epsilon < b.effective_epsilon,
+                None => true,
+            };
+            Ok(if better { Some(plan) } else { best })
+        },
+    )?;
     best.ok_or_else(|| {
         // Feasibility needs δ′(α′) > δ for some α′ < α; report the p that
         // achieves δ′ = (1+δ)/2 at α′ = 0.9α, a comfortably feasible point.

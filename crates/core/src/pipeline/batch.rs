@@ -8,7 +8,8 @@
 //! cheaper rate — exactly what a sorted sequence of single sessions
 //! would do). Within a tier, admission, planning, and budget holds run
 //! sequentially in input order; the [`Estimate`] stage fans out over
-//! crossbeam scoped threads against the shared base-station sample; the
+//! the shared [`prc_runtime::Runtime`] pool against the shared
+//! base-station sample; the
 //! [`Perturb`] stage then runs sequentially in input order, keeping the
 //! whole batch deterministic in the broker's seed regardless of thread
 //! scheduling. Each member's hold is committed at its [`Settle`] or
@@ -19,6 +20,7 @@ use std::collections::BTreeMap;
 use prc_dp::budget::Reservation;
 use prc_net::network::Network;
 use prc_pricing::reuse::Demand;
+use prc_runtime::{CutoffPolicy, Runtime};
 
 use crate::accuracy::required_probability_clamped;
 use crate::broker::{BatchReport, BatchStats, DataBroker, IndexState, PrivateAnswer};
@@ -44,9 +46,10 @@ struct Pending {
 ///
 /// # Panics
 ///
-/// Only to propagate a panic from a worker thread during the parallel
-/// estimate phase, or if the tier scheduler violates its own invariant
-/// and leaves a member's slot unfilled.
+/// Only to propagate an estimate worker's panic, re-raised through the
+/// runtime's single panic path ([`Runtime::map_chunked`]), or if the
+/// tier scheduler violates its own invariant and leaves a member's slot
+/// unfilled.
 pub fn run_batch<E, N>(broker: &mut DataBroker<E, N>, requests: &[QueryRequest]) -> BatchReport
 where
     E: RangeCountEstimator + Sync,
@@ -151,38 +154,29 @@ where
                 IndexState::Ready(_, index) => Some(index.as_ref()),
                 _ => None,
             };
-            let threads = std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
-                .clamp(1, 8)
-                .min(pending.len());
-            fan_out_threads = fan_out_threads.max(threads as u64);
-            let chunk_size = pending.len().div_ceil(threads);
-            let estimates: Vec<f64> = crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = pending
-                    .chunks(chunk_size)
-                    .map(|chunk| {
-                        scope.spawn(move || {
-                            chunk
-                                .iter()
-                                .map(|member| match index {
-                                    Some(index) => index.estimate(requests[member.slot].query),
-                                    None => {
-                                        estimator.estimate(station, requests[member.slot].query)
-                                    }
-                                })
-                                .collect::<Vec<f64>>()
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    // prc-lint: allow(P002, reason = "re-raises a worker panic; no sound recovery exists")
-                    .flat_map(|h| h.join().expect("estimator worker panicked"))
-                    .collect()
-            })
-            // prc-lint: allow(P002, reason = "re-raises a worker panic; no sound recovery exists")
-            .expect("estimator scope failed");
+            let runtime = Runtime::global();
+            fan_out_threads = fan_out_threads.max(runtime.lanes_for(pending.len()) as u64);
+            // Chunk results flatten in submission order, so the released
+            // answers are independent of worker count and scheduling.
+            let estimates: Vec<f64> = runtime
+                .map_chunked(
+                    &pending,
+                    pending.len(),
+                    CutoffPolicy::always_parallel(),
+                    |chunk| {
+                        chunk
+                            .items
+                            .iter()
+                            .map(|member| match index {
+                                Some(index) => index.estimate(requests[member.slot].query),
+                                None => estimator.estimate(station, requests[member.slot].query),
+                            })
+                            .collect::<Vec<f64>>()
+                    },
+                )
+                .into_iter()
+                .flatten()
+                .collect();
             if index.is_some() {
                 broker.counters.indexed_estimates += pending.len() as u64;
             }

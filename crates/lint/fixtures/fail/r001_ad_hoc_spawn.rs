@@ -1,0 +1,8 @@
+// prc-lint-fixture: path = crates/core/src/worker.rs
+//! Ad-hoc thread creation outside the executor crate: R001. All
+//! parallel fan-out must go through the shared prc-runtime pool.
+
+pub fn fan_out() {
+    let handle = std::thread::spawn(|| {});
+    let _ = handle.join();
+}

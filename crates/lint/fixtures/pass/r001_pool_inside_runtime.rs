@@ -1,0 +1,7 @@
+// prc-lint-fixture: path = crates/runtime/src/pool.rs
+//! Thread creation inside the executor crate: the one sanctioned home
+//! for `thread::spawn` (R001 scopes it out).
+
+pub fn spawn_worker() -> std::thread::JoinHandle<()> {
+    std::thread::spawn(|| {})
+}

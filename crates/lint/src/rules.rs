@@ -15,6 +15,7 @@
 //! | P002 | no `.expect(` in library code |
 //! | P003 | no `panic!` / `unreachable!` / `todo!` / `unimplemented!` in library code |
 //! | P004 | no indexing by integer literal (`xs[0]`) in library code |
+//! | R001 | no ad-hoc threads (`thread::spawn` / scoped threads) outside `crates/runtime` |
 //! | F001 | budget-flow: sampling reachable only under a reservation holder |
 //! | F002 | determinism scope propagates through calls from pipeline roots |
 //! | F003 | public API reaching a sanctioned panic documents `# Panics` |
@@ -53,13 +54,13 @@ pub struct Finding {
 }
 
 /// Every rule identifier the checker can emit, in catalog order.
-pub const RULE_IDS: [&str; 16] = [
-    "B001", "B002", "B003", "D001", "D002", "D003", "P001", "P002", "P003", "P004", "F001", "F002",
-    "F003", "L001", "L002", "L003",
+pub const RULE_IDS: [&str; 17] = [
+    "B001", "B002", "B003", "D001", "D002", "D003", "P001", "P002", "P003", "P004", "R001", "F001",
+    "F002", "F003", "L001", "L002", "L003",
 ];
 
 /// One-line summaries per rule, for SARIF `rules` metadata.
-pub const RULE_SUMMARIES: [(&str, &str); 16] = [
+pub const RULE_SUMMARIES: [(&str, &str); 17] = [
     ("B001", "noise sampling only inside prc-dp"),
     ("B002", "raw distribution construction only inside prc-dp"),
     (
@@ -73,6 +74,10 @@ pub const RULE_SUMMARIES: [(&str, &str); 16] = [
     ("P002", "no .expect( in library code"),
     ("P003", "no panicking macros in library code"),
     ("P004", "no indexing by integer literal in library code"),
+    (
+        "R001",
+        "ad-hoc thread creation only inside the prc-runtime executor",
+    ),
     (
         "F001",
         "sampling reachable only under a budget reservation holder",
@@ -150,6 +155,12 @@ pub(crate) mod scope {
         starts_with_components(path, &["crates", "dp"])
     }
 
+    /// The structured-concurrency executor, the one crate allowed to
+    /// create threads (R001).
+    pub fn is_runtime_crate(path: &str) -> bool {
+        starts_with_components(path, &["crates", "runtime"])
+    }
+
     /// The staged pipeline, where budget reservations are held.
     pub fn is_pipeline_path(path: &str) -> bool {
         starts_with_components(path, &["crates", "core", "src", "pipeline"])
@@ -174,9 +185,7 @@ pub(crate) mod scope {
         }
         let components: Vec<&str> = path.split('/').collect();
         let in_src = components.contains(&"src");
-        in_src
-            && !components.contains(&"bin")
-            && components.last().is_none_or(|f| *f != "main.rs")
+        in_src && !components.contains(&"bin") && components.last().is_none_or(|f| *f != "main.rs")
     }
 }
 
@@ -389,6 +398,24 @@ fn line_violations(path: &str, code: &str) -> Vec<(&'static str, String)> {
                  `.get(n)`, destructuring, or iterators"
                     .to_owned(),
             ));
+        }
+        if !scope::is_runtime_crate(path) {
+            for token in [
+                "thread::spawn",
+                "thread::scope",
+                "thread::Builder",
+                "crossbeam::thread",
+            ] {
+                if contains_token(code, token) {
+                    out.push((
+                        "R001",
+                        format!(
+                            "`{token}` creates ad-hoc threads; outside crates/runtime all \
+                             parallelism must go through the shared prc_runtime::Runtime pool"
+                        ),
+                    ));
+                }
+            }
         }
     }
     out
@@ -609,6 +636,30 @@ mod tests {
         assert!(lint_source("crates/bench/src/x.rs", src).is_empty());
         let in_test = "#[cfg(test)]\nmod tests {\n fn f() { x.unwrap(); }\n}\n";
         assert!(lint_source("crates/net/src/x.rs", in_test).is_empty());
+    }
+
+    #[test]
+    fn ad_hoc_threads_are_r001_outside_the_runtime_crate() {
+        for src in [
+            "fn f() { std::thread::spawn(|| {}); }\n",
+            "fn f() { thread::scope(|s| {}); }\n",
+            "fn f() { thread::Builder::new(); }\n",
+            "fn f() { crossbeam::thread::scope(|s| {}).unwrap(); }\n",
+        ] {
+            let f = lint_source("crates/core/src/x.rs", src);
+            assert!(rules_of(&f).contains(&"R001"), "{src}");
+        }
+        // The executor itself is the sanctioned home for thread creation.
+        let spawn = "fn f() { std::thread::spawn(|| {}); }\n";
+        assert!(lint_source("crates/runtime/src/pool.rs", spawn).is_empty());
+        // Test code stays exempt, like every per-file production rule.
+        assert!(lint_source("crates/core/tests/x.rs", spawn).is_empty());
+        assert!(lint_source("crates/bench/src/x.rs", spawn).is_empty());
+        // Sibling directories cannot spoof the runtime scope.
+        assert_eq!(
+            rules_of(&lint_source("crates/runtime2/src/x.rs", spawn)),
+            vec!["R001"]
+        );
     }
 
     #[test]

@@ -17,7 +17,8 @@
 //! * [`base_station`] — per-node sample sets and top-up orchestration;
 //! * [`network`] — [`network::FlatNetwork`], the paper's flat model, with
 //!   a [`network::CostMeter`] tracking messages/samples/bytes, plus a
-//!   crossbeam-channel [`network::ThreadedNetwork`] driver; both drivers
+//!   a pool-backed [`network::ThreadedNetwork`] driver fanning out over
+//!   the shared `prc-runtime` executor; both drivers
 //!   implement the [`network::Network`] trait so generic consumers (the
 //!   `prc-core` broker) run unchanged over either;
 //! * [`tree`] — the "general tree model" extension: samples are forwarded

@@ -2,18 +2,18 @@
 //!
 //! [`FlatNetwork`] implements the paper's flat model — every node talks
 //! directly to the base station — with a deterministic, single-threaded
-//! round protocol. [`ThreadedNetwork`] runs the same protocol with one OS
-//! thread per node and crossbeam channels, producing byte-identical sample
-//! state for the same seed (per-node RNGs make the outcome independent of
-//! scheduling). Both drivers meter traffic through a shared
-//! [`CostMeter`].
+//! round protocol. [`ThreadedNetwork`] runs the same protocol with its
+//! per-node sampling fanned out over the shared [`prc_runtime::Runtime`]
+//! pool, producing byte-identical sample state for the same seed
+//! (per-node RNGs make the outcome independent of scheduling). Both
+//! drivers meter traffic through a shared [`CostMeter`].
 
 use std::sync::Arc;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use prc_data::partition::{partition_values, PartitionStrategy};
 use prc_data::record::{AirQualityIndex, Dataset};
+use prc_runtime::{CutoffPolicy, Runtime};
 
 use crate::base_station::BaseStation;
 use crate::failure::{FailurePlan, LossMode};
@@ -452,104 +452,51 @@ impl Network for FlatNetwork {
     }
 }
 
-/// Commands sent to node worker threads.
-enum Command {
-    SampleTo(f64),
-    ExactCount { lower: f64, upper: f64 },
-    Shutdown,
-}
-
-/// Worker replies to the coordinator.
-enum Reply {
-    /// A sampling round's batch, plus whether the node's cumulative
-    /// probability actually lagged the target before sampling (the flat
-    /// protocol only charges a top-up request for lagging nodes).
-    Sample { lagged: bool, batch: SampleMessage },
-    /// One node's exact local range count.
-    Count { count: usize },
-}
-
-/// A threaded driver: one OS thread per node, crossbeam channels for both
-/// directions, and the same deterministic per-node sampling as
-/// [`FlatNetwork`].
+/// A threaded driver: per-node sampling fanned out over the shared
+/// [`prc_runtime::Runtime`] pool, and the same deterministic per-node
+/// sampling as [`FlatNetwork`].
 ///
 /// For the same construction parameters, the base-station state after
 /// [`ThreadedNetwork::collect_samples`] is identical to the flat driver's
 /// (each node owns an independent RNG seeded from the shared seed and the
-/// node id, so thread interleaving cannot change what is sampled). The
-/// same holds under a [`FailurePlan`]: workers sample concurrently, but
-/// failure decisions are keyed by `NodeId` and applied by the
-/// coordinator in node-id order, so dropout, loss, metering, and tracing
-/// replay the flat protocol exactly.
+/// node id, so pool scheduling cannot change what is sampled). The same
+/// holds under a [`FailurePlan`]: nodes sample concurrently, but failure
+/// decisions are keyed by `NodeId` and applied by the coordinator in
+/// node-id order, so dropout, loss, metering, and tracing replay the
+/// flat protocol exactly.
 #[derive(Debug)]
 pub struct ThreadedNetwork {
-    command_txs: Vec<Sender<Command>>,
-    /// Replies from all workers funnel through one channel; the mutex
-    /// serializes multi-reply drains (e.g. two concurrent
-    /// [`ThreadedNetwork::exact_range_count`] calls) so replies cannot be
-    /// stolen across operations.
-    reply_rx: Mutex<Receiver<Reply>>,
-    handles: Vec<std::thread::JoinHandle<()>>,
+    nodes: Vec<SensorNode>,
     station: BaseStation,
     meter: CostMeter,
     failure: FailurePlan,
     tracer: Option<Tracer>,
-    node_count: usize,
-    total_data_size: usize,
 }
 
+/// Network rounds always amortize their fan-out (per-node sampling and
+/// counting dwarf dispatch); a single-worker pool still degrades to the
+/// caller-side sequential path with identical bytes.
+const NET_CUTOFF: CutoffPolicy = CutoffPolicy::always_parallel();
+
 impl ThreadedNetwork {
-    /// Spawns one worker thread per partition.
+    /// Builds a network with one node per partition.
     ///
     /// # Panics
     ///
     /// Panics if `partitions` is empty.
     pub fn from_partitions(partitions: Vec<Vec<f64>>, seed: u64) -> Self {
         assert!(!partitions.is_empty(), "network needs at least one node");
-        let node_count = partitions.len();
-        let total_data_size = partitions.iter().map(Vec::len).sum();
-        let (reply_tx, reply_rx) = unbounded::<Reply>();
-        let mut command_txs = Vec::with_capacity(node_count);
-        let mut handles = Vec::with_capacity(node_count);
-
-        for (i, data) in partitions.into_iter().enumerate() {
-            let (cmd_tx, cmd_rx) = unbounded::<Command>();
-            let reply_tx = reply_tx.clone();
-            let handle = std::thread::spawn(move || {
-                let mut node = SensorNode::new(NodeId(i as u32), data, seed);
-                while let Ok(command) = cmd_rx.recv() {
-                    let reply = match command {
-                        Command::SampleTo(p) => {
-                            let lagged = node.probability() < p;
-                            Reply::Sample {
-                                lagged,
-                                batch: node.sample_to(p),
-                            }
-                        }
-                        Command::ExactCount { lower, upper } => Reply::Count {
-                            count: node.exact_range_count(lower, upper),
-                        },
-                        Command::Shutdown => break,
-                    };
-                    if reply_tx.send(reply).is_err() {
-                        break;
-                    }
-                }
-            });
-            command_txs.push(cmd_tx);
-            handles.push(handle);
-        }
-
+        let nodes = partitions
+            .into_iter()
+            .enumerate()
+            .map(|(i, data)| SensorNode::new(NodeId(i as u32), data, seed))
+            .collect();
         ThreadedNetwork {
-            command_txs,
-            reply_rx: Mutex::new(reply_rx),
-            handles,
+            nodes,
             station: BaseStation::new(),
             meter: CostMeter::new(),
             failure: FailurePlan::none(),
             tracer: None,
-            node_count,
-            total_data_size,
         }
     }
 
@@ -565,12 +512,12 @@ impl ThreadedNetwork {
 
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
-        self.node_count
+        self.nodes.len()
     }
 
     /// Total data elements across all nodes.
     pub fn total_data_size(&self) -> usize {
-        self.total_data_size
+        self.nodes.iter().map(SensorNode::population_size).sum()
     }
 
     /// The base station's view of collected samples.
@@ -584,33 +531,23 @@ impl ThreadedNetwork {
     }
 
     /// Exact global range count `γ(l, u, D)` — ground truth for
-    /// evaluation, computed by the workers in parallel and not metered.
+    /// evaluation, summed over pool workers and not metered.
     ///
     /// # Panics
     ///
-    /// Panics if a worker thread has died.
+    /// Only to propagate a pool worker's panic, re-raised through the
+    /// runtime's single panic path ([`Runtime::map_chunked`]).
     pub fn exact_range_count(&self, l: f64, u: f64) -> usize {
-        // Hold the reply lock across the whole exchange so a concurrent
-        // caller cannot interleave its replies with ours.
-        let reply_rx = self.reply_rx.lock();
-        for tx in &self.command_txs {
-            tx.send(Command::ExactCount { lower: l, upper: u })
-                // prc-lint: allow(P002, reason = "worker lifetime is owned by this struct; a closed channel means a worker panicked and must be re-raised")
-                .expect("node worker thread died");
-        }
-        let mut total = 0;
-        for _ in 0..self.node_count {
-            let reply = reply_rx
-                .recv()
-                // prc-lint: allow(P002, reason = "worker lifetime is owned by this struct; a closed channel means a worker panicked and must be re-raised")
-                .expect("node worker thread died before replying");
-            match reply {
-                Reply::Count { count, .. } => total += count,
-                // prc-lint: allow(P003, reason = "sample replies are drained under the same lock by collect_samples (&mut self); one appearing here is protocol corruption and must be re-raised")
-                Reply::Sample { .. } => unreachable!("sample reply during exact count"),
-            }
-        }
-        total
+        Runtime::global()
+            .map_chunked(&self.nodes, self.nodes.len(), NET_CUTOFF, |chunk| {
+                chunk
+                    .items
+                    .iter()
+                    .map(|node| node.exact_range_count(l, u))
+                    .sum::<usize>()
+            })
+            .into_iter()
+            .sum()
     }
 
     /// Broadcasts a top-up to `target` and gathers every live node's
@@ -622,49 +559,47 @@ impl ThreadedNetwork {
     ///
     /// # Panics
     ///
-    /// Panics if `target` is not in `(0, 1]`, or if a worker thread has
-    /// died.
+    /// Panics if `target` is not in `(0, 1]`. Otherwise only to propagate
+    /// a pool worker's panic, re-raised through the runtime's single
+    /// panic path ([`Runtime::map_chunked_mut`]).
     pub fn collect_samples(&mut self, target: f64) -> usize {
         assert!(
             target > 0.0 && target <= 1.0,
             "sampling probability must be in (0, 1], got {target}"
         );
         // Fan out: dead nodes are never contacted; live nodes top up
-        // concurrently. Dropout draws are keyed by NodeId, so asking in
-        // id order here matches every other driver.
-        let mut commanded = 0;
-        for (i, tx) in self.command_txs.iter().enumerate() {
-            if self.failure.node_is_dead(NodeId(i as u32)) {
-                continue;
-            }
-            tx.send(Command::SampleTo(target))
-                // prc-lint: allow(P002, reason = "worker lifetime is owned by this struct; a closed channel means a worker panicked and must be re-raised")
-                .expect("node worker thread died");
-            commanded += 1;
-        }
-        // Gather: replies arrive in scheduling order; park them by id.
-        let mut replies: std::collections::BTreeMap<NodeId, (bool, SampleMessage)> =
-            std::collections::BTreeMap::new();
-        {
-            let reply_rx = self.reply_rx.lock();
-            for _ in 0..commanded {
-                let reply = reply_rx
-                    .recv()
-                    // prc-lint: allow(P002, reason = "worker lifetime is owned by this struct; a closed channel means a worker panicked and must be re-raised")
-                    .expect("node worker thread died before replying");
-                match reply {
-                    Reply::Sample { lagged, batch } => {
-                        replies.insert(batch.node_id, (lagged, batch));
-                    }
-                    // prc-lint: allow(P003, reason = "count replies are drained under the same lock by exact_range_count; one appearing here is protocol corruption and must be re-raised")
-                    Reply::Count { .. } => unreachable!("count reply during sampling round"),
-                }
-            }
-        }
+        // concurrently over the shared pool. Dropout draws memoize
+        // through `&mut FailurePlan`, so they are decided here in id
+        // order (matching every other driver) before the fan-out; each
+        // node owns its RNG, so what gets sampled is independent of
+        // chunking and scheduling.
+        let node_count = self.nodes.len();
+        let dead: Vec<bool> = (0..node_count)
+            .map(|i| self.failure.node_is_dead(NodeId(i as u32)))
+            .collect();
+        let dead = &dead;
+        let batches =
+            Runtime::global().map_chunked_mut(&mut self.nodes, node_count, NET_CUTOFF, |chunk| {
+                chunk
+                    .items
+                    .iter_mut()
+                    .filter(|node| !dead[node.id().0 as usize])
+                    .map(|node| {
+                        let lagged = node.probability() < target;
+                        (lagged, node.sample_to(target))
+                    })
+                    .collect::<Vec<_>>()
+            });
+        // Gather: park every live node's batch by id.
+        let mut replies: std::collections::BTreeMap<NodeId, (bool, SampleMessage)> = batches
+            .into_iter()
+            .flatten()
+            .map(|(lagged, batch)| (batch.node_id, (lagged, batch)))
+            .collect();
         // Settle in node-id order: identical event, metering, and loss
         // sequence to FlatNetwork::collect_samples.
         let mut delivered = 0;
-        for i in 0..self.node_count {
+        for i in 0..node_count {
             let id = NodeId(i as u32);
             if self.failure.node_is_dead(id) {
                 if let Some(tracer) = &self.tracer {
@@ -760,17 +695,6 @@ impl Network for ThreadedNetwork {
 
     fn exact_range_count(&self, l: f64, u: f64) -> usize {
         ThreadedNetwork::exact_range_count(self, l, u)
-    }
-}
-
-impl Drop for ThreadedNetwork {
-    fn drop(&mut self) {
-        for tx in &self.command_txs {
-            let _ = tx.send(Command::Shutdown);
-        }
-        for handle in self.handles.drain(..) {
-            let _ = handle.join();
-        }
     }
 }
 

@@ -1,0 +1,61 @@
+//! Pool observability counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotone snapshot of one pool's activity, taken with
+/// [`crate::Runtime::counters`].
+///
+/// Counters are diagnostics only: they are updated with relaxed atomics
+/// and never feed back into scheduling or results, so reading them cannot
+/// perturb the determinism contract. Consumers (the broker's stage
+/// reporting, the bench harness) difference two snapshots the same way
+/// they difference a cost-meter snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuntimeCounters {
+    /// Map/reduce calls dispatched through the pool (parallel and
+    /// sequential-fallback alike).
+    pub tasks_run: u64,
+    /// Chunks executed by pool workers (the sequential fallback's single
+    /// caller-side chunk is not counted here).
+    pub chunks: u64,
+    /// Calls that stayed on the calling thread — cutoff below threshold,
+    /// a single-worker pool, or a single-item input.
+    pub sequential_fallbacks: u64,
+    /// Worker panics captured and re-raised through the single panic
+    /// path (every sibling's panic is counted, not just the first).
+    pub worker_panics: u64,
+}
+
+/// The pool-side atomic counterpart of [`RuntimeCounters`].
+#[derive(Debug, Default)]
+pub(crate) struct AtomicCounters {
+    tasks_run: AtomicU64,
+    chunks: AtomicU64,
+    sequential_fallbacks: AtomicU64,
+    worker_panics: AtomicU64,
+}
+
+impl AtomicCounters {
+    pub(crate) fn record_parallel(&self, chunks: u64) {
+        self.tasks_run.fetch_add(1, Ordering::Relaxed);
+        self.chunks.fetch_add(chunks, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_sequential(&self) {
+        self.tasks_run.fetch_add(1, Ordering::Relaxed);
+        self.sequential_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_panic(&self) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> RuntimeCounters {
+        RuntimeCounters {
+            tasks_run: self.tasks_run.load(Ordering::Relaxed),
+            chunks: self.chunks.load(Ordering::Relaxed),
+            sequential_fallbacks: self.sequential_fallbacks.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+        }
+    }
+}

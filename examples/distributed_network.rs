@@ -72,9 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut threaded = ThreadedNetwork::from_partitions(partitions.clone(), 3);
     threaded.collect_samples(p);
     let est_threaded = RankCounting.estimate(threaded.station(), query);
-    println!(
-        "\nthreaded driver (crossbeam channels, 50 worker threads): estimate {est_threaded:.1}"
-    );
+    println!("\nthreaded driver (shared prc-runtime pool, 50 nodes): estimate {est_threaded:.1}");
     assert_eq!(
         est_flat, est_threaded,
         "drivers must agree for the same seed"
