@@ -43,6 +43,7 @@ use prc_pricing::engine::PricingEngine;
 use prc_pricing::reuse::ReuseGuard;
 
 use crate::error::CoreError;
+use crate::estimator::engine::PlanCache;
 use crate::estimator::{BuildAccrual, CostModel, QueryIndex, RangeCountEstimator, RankCounting};
 use crate::optimizer::{OptimizerConfig, PerturbationPlan};
 use crate::pipeline::{PricedAnswer, QuerySession};
@@ -149,6 +150,21 @@ pub struct StageCounters {
     /// Gauge: live segments in the current index (`0` when none).
     #[serde(default)]
     pub segments_live: u64,
+    /// Estimates resolved through the engine's cache-conscious boundary
+    /// resolvers (Eytzinger descent or sorted-batch sweep) — every
+    /// indexed estimate since the engine became the index's resolver.
+    #[serde(default)]
+    pub engine_hits: u64,
+    /// Optimizer grid sweeps skipped because the plan cache held a
+    /// memoized plan for the same accuracy target, rate tier, and
+    /// station revision.
+    #[serde(default)]
+    pub plan_cache_hits: u64,
+    /// Forward probes the sorted-batch sweep galloped through.
+    /// Diagnostic work meter: depends on how batches are chunked across
+    /// the fan-out (like `fan_out_threads`), never on released answers.
+    #[serde(default)]
+    pub gallop_steps: u64,
     /// Priced transactions settled into the pricing engine's ledger.
     pub settlements: u64,
     /// Budget reservations rolled back because a later stage failed.
@@ -176,6 +192,17 @@ pub struct BatchStats {
     pub index_builds: u64,
     /// Estimates in this batch answered through a query index.
     pub indexed_estimates: u64,
+    /// Estimates in this batch resolved through the engine's boundary
+    /// resolvers.
+    #[serde(default)]
+    pub engine_hits: u64,
+    /// Grid sweeps this batch skipped via the optimizer plan cache.
+    #[serde(default)]
+    pub plan_cache_hits: u64,
+    /// Gallop probes the batch's sorted sweeps took (diagnostic; varies
+    /// with fan-out width).
+    #[serde(default)]
+    pub gallop_steps: u64,
 }
 
 /// The outcome of one batched call: per-request results in input order,
@@ -301,6 +328,7 @@ pub struct DataBroker<E = RankCounting, N = FlatNetwork> {
     pub(crate) index_policy: IndexPolicy,
     pub(crate) build_accrual: BuildAccrual,
     pub(crate) pending_index: Option<IndexCacheHandle>,
+    pub(crate) plan_cache: PlanCache,
 }
 
 impl<N: Network> DataBroker<RankCounting, N> {
@@ -328,6 +356,7 @@ impl<E: RangeCountEstimator, N: Network> DataBroker<E, N> {
             index_policy: IndexPolicy::default(),
             build_accrual: BuildAccrual::default(),
             pending_index: None,
+            plan_cache: PlanCache::default(),
         }
     }
 
@@ -380,9 +409,11 @@ impl<E: RangeCountEstimator, N: Network> DataBroker<E, N> {
         self.pending_index = Some(handle);
     }
 
-    /// Replaces the optimizer configuration.
+    /// Replaces the optimizer configuration (discarding memoized plans:
+    /// the grid sweep is a function of the config).
     pub fn set_optimizer_config(&mut self, config: OptimizerConfig) {
         self.optimizer_config = config;
+        self.plan_cache.clear();
     }
 
     /// Replaces the sampling policy.

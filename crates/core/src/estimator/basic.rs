@@ -2,6 +2,7 @@
 
 use prc_net::base_station::NodeSample;
 
+use crate::estimator::engine::entry_boundary_ranks;
 use crate::estimator::RangeCountEstimator;
 use crate::query::RangeQuery;
 
@@ -42,11 +43,9 @@ impl RangeCountEstimator for BasicCounting {
             return 0.0;
         }
         // Entries are sorted by rank, and rank order is value order, so
-        // the in-range count is the gap between two binary searches —
-        // O(log s) instead of the former linear scan.
-        let entries = sample.entries();
-        let below = entries.partition_point(|e| e.value < query.lower());
-        let through = entries.partition_point(|e| e.value <= query.upper());
+        // the in-range count is the gap between the two shared boundary
+        // ranks — O(log s) instead of the former linear scan.
+        let (below, through) = entry_boundary_ranks(sample.entries(), query);
         (through - below) as f64 / sample.probability
     }
 

@@ -1,0 +1,192 @@
+//! Eytzinger-layout boundary search: the sorted values relaid in
+//! BFS order of their implicit binary-search tree, descended
+//! branchlessly.
+//!
+//! `partition_point` over a large sorted array is a cache-hostile
+//! random walk: each probe lands half an array away from the last. The
+//! Eytzinger (Breadth-First-Search) layout stores the root at slot 1
+//! and the children of slot `k` at `2k` and `2k + 1`, so the first few
+//! levels of *every* search share the same few cache lines and the
+//! descent is a single multiply-add per level with no branch on the
+//! comparison result.
+//!
+//! The searcher carries each slot's original sorted position alongside
+//! its key, so a search returns the exact `partition_point` index — the
+//! downstream prefix/suffix aggregate lookups are untouched and the
+//! bit-identity contract of the index paths is preserved by
+//! construction (and proven by the exhaustive tests below plus the
+//! `tests/query_engine_props.rs` sweep).
+
+use crate::query::RangeQuery;
+
+/// A BFS-order relayout of a sorted `f64` slice answering
+/// `partition_point` queries with a branchless descent.
+#[derive(Debug, Clone)]
+pub struct EytzingerSearcher {
+    /// Keys in BFS order; slot 0 is a never-read pivot pad so the
+    /// children of slot `k` sit at `2k` and `2k + 1`.
+    keys: Vec<f64>,
+    /// Each BFS slot's position in the original sorted slice.
+    positions: Vec<usize>,
+    /// Number of searchable keys (`keys.len() - 1`).
+    len: usize,
+}
+
+/// In-order walk over the BFS slot tree, assigning sorted positions.
+fn fill(sorted: &[f64], keys: &mut [f64], positions: &mut [usize], slot: usize, next: &mut usize) {
+    if slot > sorted.len() {
+        return;
+    }
+    fill(sorted, keys, positions, 2 * slot, next);
+    keys[slot] = sorted[*next];
+    positions[slot] = *next;
+    *next += 1;
+    fill(sorted, keys, positions, 2 * slot + 1, next);
+}
+
+impl EytzingerSearcher {
+    /// Builds the layout from an ascending-sorted slice (`O(n)` time and
+    /// space; the in-order walk recurses to the tree height, `O(log n)`).
+    pub fn from_sorted(sorted: &[f64]) -> EytzingerSearcher {
+        let n = sorted.len();
+        let mut keys = vec![0.0f64; n + 1];
+        let mut positions = vec![0usize; n + 1];
+        let mut next = 0usize;
+        fill(sorted, &mut keys, &mut positions, 1, &mut next);
+        EytzingerSearcher {
+            keys,
+            positions,
+            len: n,
+        }
+    }
+
+    /// Number of searchable keys.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the searcher holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The branchless descent: goes right while the predicate (`< x` or
+    /// `<= x`) holds, then recovers the last left turn by cancelling the
+    /// trailing right turns from the path word. Returns the sorted
+    /// position of the first key failing the predicate (`len` when none
+    /// fails) — exactly `partition_point`'s contract.
+    fn descend(&self, x: f64, strict: bool) -> usize {
+        let mut k = 1usize;
+        while k <= self.len {
+            let key = self.keys[k];
+            let go_right = if strict { key < x } else { key <= x };
+            k = 2 * k + usize::from(go_right);
+        }
+        k >>= k.trailing_ones() + 1;
+        if k == 0 {
+            self.len
+        } else {
+            self.positions[k]
+        }
+    }
+
+    /// `sorted.partition_point(|&v| v < x)`: position of the first key
+    /// `>= x`.
+    pub fn lower_bound(&self, x: f64) -> usize {
+        self.descend(x, true)
+    }
+
+    /// `sorted.partition_point(|&v| v <= x)`: position of the first key
+    /// `> x`.
+    pub fn upper_bound(&self, x: f64) -> usize {
+        self.descend(x, false)
+    }
+
+    /// Both boundary positions of a range query, matching
+    /// [`super::boundary_ranks`] on the original sorted slice.
+    pub fn boundary_ranks(&self, query: RangeQuery) -> (usize, usize) {
+        (
+            self.lower_bound(query.lower()),
+            self.upper_bound(query.upper()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::engine::boundary_ranks;
+
+    /// Probes around every value: the value itself, just below, just
+    /// above, and far outside the support on both sides.
+    fn probes(sorted: &[f64]) -> Vec<f64> {
+        let mut probes = vec![-1e9, 1e9, 0.0];
+        for &v in sorted {
+            probes.extend([v, v - 0.5, v + 0.5]);
+        }
+        probes
+    }
+
+    fn assert_matches_partition_point(sorted: &[f64]) {
+        let searcher = EytzingerSearcher::from_sorted(sorted);
+        assert_eq!(searcher.len(), sorted.len());
+        for x in probes(sorted) {
+            assert_eq!(
+                searcher.lower_bound(x),
+                sorted.partition_point(|&v| v < x),
+                "lower_bound({x}) over {sorted:?}"
+            );
+            assert_eq!(
+                searcher.upper_bound(x),
+                sorted.partition_point(|&v| v <= x),
+                "upper_bound({x}) over {sorted:?}"
+            );
+        }
+    }
+
+    /// Exhaustive equivalence over every array length 0..=64 (distinct
+    /// ascending values): both predicates match `partition_point` at
+    /// every boundary-adjacent probe.
+    #[test]
+    fn exhaustive_distinct_values() {
+        for n in 0..=64usize {
+            let sorted: Vec<f64> = (0..n).map(|i| i as f64 * 2.0).collect();
+            assert_matches_partition_point(&sorted);
+        }
+    }
+
+    /// Exhaustive equivalence over duplicate-heavy arrays: every length
+    /// 0..=48 quantized onto 4 distinct values, plus all-equal arrays.
+    #[test]
+    fn exhaustive_duplicates_and_all_equal() {
+        for n in 0..=48usize {
+            let sorted: Vec<f64> = (0..n).map(|i| ((i * 7) % 4) as f64).collect();
+            let mut sorted = sorted;
+            sorted.sort_by(f64::total_cmp);
+            assert_matches_partition_point(&sorted);
+            let same: Vec<f64> = vec![5.0; n];
+            assert_matches_partition_point(&same);
+        }
+    }
+
+    #[test]
+    fn empty_searcher_answers_zero() {
+        let searcher = EytzingerSearcher::from_sorted(&[]);
+        assert!(searcher.is_empty());
+        assert_eq!(searcher.lower_bound(3.0), 0);
+        assert_eq!(searcher.upper_bound(3.0), 0);
+    }
+
+    #[test]
+    fn boundary_ranks_matches_the_shared_helper() {
+        let sorted = [0.0, 1.0, 1.0, 2.5, 2.5, 2.5, 7.0];
+        let searcher = EytzingerSearcher::from_sorted(&sorted);
+        for (l, u) in [(0.0, 2.5), (1.0, 1.0), (2.5, 7.0), (8.0, 9.0), (-2.0, -1.0)] {
+            let query = RangeQuery::new(l, u).expect("valid range");
+            assert_eq!(
+                searcher.boundary_ranks(query),
+                boundary_ranks(&sorted, query)
+            );
+        }
+    }
+}

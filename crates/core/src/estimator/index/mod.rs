@@ -136,12 +136,11 @@ pub(crate) fn node_rank_terms(
     let mut sum_a: i64 = 0;
     let mut sum_b: i64 = 0;
     // Entries are sorted by rank, hence by value (node data is sorted).
-    let pred_idx = entries.partition_point(|e| e.value < query.lower());
+    let (pred_idx, succ_idx) = crate::estimator::engine::entry_boundary_ranks(entries, query);
     if pred_idx > 0 {
         sum_a += 1 - i64::from(entries[pred_idx - 1].rank);
         sum_b += 1;
     }
-    let succ_idx = entries.partition_point(|e| e.value <= query.upper());
     match entries.get(succ_idx) {
         Some(succ) => {
             sum_a += i64::from(succ.rank);

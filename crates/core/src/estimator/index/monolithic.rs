@@ -6,7 +6,7 @@ use prc_net::base_station::BaseStation;
 
 use super::finish_rank_terms;
 use super::merge::{MergedArrays, RunSource};
-use crate::estimator::QueryIndex;
+use crate::estimator::{BatchEstimate, QueryIndex};
 use crate::query::RangeQuery;
 
 /// The merged prefix-rank query index: one value-sorted
@@ -70,11 +70,35 @@ impl RankIndex {
         })
     }
 
-    /// Answers one range query in `O(log S)`: two binary searches over the
-    /// merged values, five prefix/suffix lookups, one combine.
+    /// Answers one range query in `O(log S)`: two Eytzinger boundary
+    /// searches over the merged values, five prefix/suffix lookups, one
+    /// combine.
     pub fn estimate(&self, query: RangeQuery) -> f64 {
         let (sum_a, sum_b) = self.rank_terms(query);
         finish_rank_terms(sum_a, sum_b, self.probability)
+    }
+
+    /// Answers one query through the plain two-`partition_point`
+    /// resolver instead of the Eytzinger descent — the reference the
+    /// engine paths are proven bit-identical against (property tests
+    /// and the `bench_query_engine` self-check).
+    pub fn estimate_baseline(&self, query: RangeQuery) -> f64 {
+        let (sum_a, sum_b) = self.arrays.rank_terms_baseline(query);
+        finish_rank_terms(sum_a, sum_b, self.probability)
+    }
+
+    /// Answers a whole batch through the engine's sorted-boundary sweep:
+    /// same bits as calling [`RankIndex::estimate`] per query, resolved
+    /// in one forward pass over the merged values.
+    pub fn estimate_batch(&self, queries: &[RangeQuery]) -> BatchEstimate {
+        let (terms, gallop_steps) = self.arrays.rank_terms_batch(queries);
+        BatchEstimate {
+            estimates: terms
+                .into_iter()
+                .map(|(sum_a, sum_b)| finish_rank_terms(sum_a, sum_b, self.probability))
+                .collect(),
+            gallop_steps,
+        }
     }
 
     /// The exact integer aggregates `(ΣA, ΣB)` for one query — must match
@@ -97,6 +121,10 @@ impl RankIndex {
 impl QueryIndex for RankIndex {
     fn estimate(&self, query: RangeQuery) -> f64 {
         RankIndex::estimate(self, query)
+    }
+
+    fn estimate_batch(&self, queries: &[RangeQuery]) -> BatchEstimate {
+        RankIndex::estimate_batch(self, queries)
     }
 
     fn merged_entries(&self) -> usize {

@@ -8,7 +8,7 @@ use prc_net::message::NodeId;
 use super::compaction::{CompactionPolicy, CompactionStep, SegmentStats};
 use super::finish_rank_terms;
 use super::segment::{Segment, SegmentMember};
-use crate::estimator::{DeltaOutcome, QueryIndex};
+use crate::estimator::{BatchEstimate, DeltaOutcome, QueryIndex};
 use crate::query::RangeQuery;
 
 /// An incrementally-maintained merged prefix-rank index.
@@ -172,6 +172,45 @@ impl SegmentedRankIndex {
         (sum_a, sum_b)
     }
 
+    /// [`SegmentedRankIndex::estimate`] through the plain
+    /// two-`partition_point` resolver instead of the Eytzinger descent
+    /// (the reference for equivalence tests and benches).
+    pub fn estimate_baseline(&self, query: RangeQuery) -> f64 {
+        let mut sum_a = 0i64;
+        let mut sum_b = 0i64;
+        for segment in &self.segments {
+            let (a, b) = segment.rank_terms_baseline(query);
+            sum_a += a;
+            sum_b += b;
+        }
+        finish_rank_terms(sum_a, sum_b, self.probability)
+    }
+
+    /// Answers a whole batch through the engine's sorted-boundary
+    /// sweep, one forward pass per segment: same bits as calling
+    /// [`SegmentedRankIndex::estimate`] per query (integer addition is
+    /// grouping-independent, and each sweep resolves the exact
+    /// `partition_point` positions).
+    pub fn estimate_batch(&self, queries: &[RangeQuery]) -> BatchEstimate {
+        let mut terms = vec![(0i64, 0i64); queries.len()];
+        let mut gallop_steps = 0u64;
+        for segment in &self.segments {
+            let (segment_terms, steps) = segment.rank_terms_batch(queries);
+            gallop_steps += steps;
+            for (total, part) in terms.iter_mut().zip(segment_terms) {
+                total.0 += part.0;
+                total.1 += part.1;
+            }
+        }
+        BatchEstimate {
+            estimates: terms
+                .into_iter()
+                .map(|(sum_a, sum_b)| finish_rank_terms(sum_a, sum_b, self.probability))
+                .collect(),
+            gallop_steps,
+        }
+    }
+
     /// Live merged entries across all segments (`S`).
     pub fn merged_entries(&self) -> usize {
         self.segments.iter().map(Segment::live_entries).sum()
@@ -224,6 +263,10 @@ fn members_of(
 impl QueryIndex for SegmentedRankIndex {
     fn estimate(&self, query: RangeQuery) -> f64 {
         SegmentedRankIndex::estimate(self, query)
+    }
+
+    fn estimate_batch(&self, queries: &[RangeQuery]) -> BatchEstimate {
+        SegmentedRankIndex::estimate_batch(self, queries)
     }
 
     fn merged_entries(&self) -> usize {

@@ -23,6 +23,7 @@
 //! absorbing per-round collection deltas instead of rebuilding.
 
 pub mod basic;
+pub mod engine;
 pub mod index;
 pub mod rank;
 
@@ -47,6 +48,18 @@ pub struct DeltaOutcome {
     pub compactions: u64,
 }
 
+/// A batch of estimates resolved in one call, plus the engine's work
+/// meter.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchEstimate {
+    /// One estimate per submitted query, in submission order.
+    pub estimates: Vec<f64>,
+    /// Forward probes the sorted-batch sweep galloped through (`0` on
+    /// the per-query fallback path). Diagnostic: the total depends on
+    /// how the caller chunks the batch, never on the estimates.
+    pub gallop_steps: u64,
+}
+
 /// A per-epoch query accelerator over a station's samples.
 ///
 /// An index answers queries against the sample state it was last
@@ -61,6 +74,21 @@ pub struct DeltaOutcome {
 pub trait QueryIndex: std::fmt::Debug + Send + Sync {
     /// Estimates the global count `γ(l, u, D)` for one query.
     fn estimate(&self, query: RangeQuery) -> f64;
+
+    /// Estimates a whole batch of queries in submission order.
+    ///
+    /// Must return exactly the bits of calling
+    /// [`QueryIndex::estimate`] per query; implementations backed by
+    /// the [`engine`] resolve the batch's sorted boundaries in one
+    /// forward sweep instead ([`engine::resolve_batch`]), which
+    /// preserves the identity by construction. The default falls back
+    /// to the per-query path.
+    fn estimate_batch(&self, queries: &[RangeQuery]) -> BatchEstimate {
+        BatchEstimate {
+            estimates: queries.iter().map(|&query| self.estimate(query)).collect(),
+            gallop_steps: 0,
+        }
+    }
 
     /// Number of merged sample entries the index covers (`S`).
     fn merged_entries(&self) -> usize;

@@ -46,6 +46,7 @@
 
 use prc_net::base_station::{BaseStation, NodeSample};
 
+use crate::estimator::engine::entry_boundary_ranks;
 use crate::estimator::index::{finish_rank_terms, scan_rank_terms, SegmentedRankIndex};
 use crate::estimator::{QueryIndex, RangeCountEstimator};
 use crate::query::RangeQuery;
@@ -102,9 +103,8 @@ impl RangeCountEstimator for RankCounting {
         let entries = sample.entries();
         // Entries are sorted by rank, and the node's data is sorted, so
         // they are sorted by value as well (ties keep rank order).
-        let pred_idx = entries.partition_point(|e| e.value < query.lower());
+        let (pred_idx, succ_idx) = entry_boundary_ranks(entries, query);
         let predecessor = pred_idx.checked_sub(1).map(|i| entries[i]);
-        let succ_idx = entries.partition_point(|e| e.value <= query.upper());
         let successor = entries.get(succ_idx);
 
         match (predecessor, successor) {

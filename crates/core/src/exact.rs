@@ -20,8 +20,7 @@ pub fn range_count_sorted(values: &[f64], query: RangeQuery) -> usize {
         values.is_sorted(),
         "range_count_sorted requires ascending-sorted input"
     );
-    let lo = values.partition_point(|&v| v < query.lower());
-    let hi = values.partition_point(|&v| v <= query.upper());
+    let (lo, hi) = crate::estimator::engine::boundary_ranks(values, query);
     hi - lo
 }
 

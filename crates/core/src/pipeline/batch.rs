@@ -158,27 +158,42 @@ where
             fan_out_threads = fan_out_threads.max(runtime.lanes_for(pending.len()) as u64);
             // Chunk results flatten in submission order, so the released
             // answers are independent of worker count and scheduling.
-            let estimates: Vec<f64> = runtime
-                .map_chunked(
-                    &pending,
-                    pending.len(),
-                    CutoffPolicy::always_parallel(),
-                    |chunk| {
+            // Each chunk resolves its boundaries in one sorted sweep
+            // through the engine's batch path (gallop-step meter rides
+            // along; the estimates themselves are chunk-invariant).
+            let chunked: Vec<(Vec<f64>, u64)> = runtime.map_chunked(
+                &pending,
+                pending.len(),
+                CutoffPolicy::always_parallel(),
+                |chunk| match index {
+                    Some(index) => {
+                        let queries: Vec<_> = chunk
+                            .items
+                            .iter()
+                            .map(|member| requests[member.slot].query)
+                            .collect();
+                        let batch = index.estimate_batch(&queries);
+                        (batch.estimates, batch.gallop_steps)
+                    }
+                    None => (
                         chunk
                             .items
                             .iter()
-                            .map(|member| match index {
-                                Some(index) => index.estimate(requests[member.slot].query),
-                                None => estimator.estimate(station, requests[member.slot].query),
-                            })
-                            .collect::<Vec<f64>>()
-                    },
-                )
+                            .map(|member| estimator.estimate(station, requests[member.slot].query))
+                            .collect(),
+                        0,
+                    ),
+                },
+            );
+            let gallop_steps: u64 = chunked.iter().map(|(_, steps)| steps).sum();
+            let estimates: Vec<f64> = chunked
                 .into_iter()
-                .flatten()
+                .flat_map(|(estimates, _)| estimates)
                 .collect();
             if index.is_some() {
                 broker.counters.indexed_estimates += pending.len() as u64;
+                broker.counters.engine_hits += pending.len() as u64;
+                broker.counters.gallop_steps += gallop_steps;
             }
 
             // Perturb + Settle: sequential in input order so the broker's
@@ -243,6 +258,9 @@ where
             fan_out_threads,
             index_builds: counters_after.index_builds - counters_before.index_builds,
             indexed_estimates: counters_after.indexed_estimates - counters_before.indexed_estimates,
+            engine_hits: counters_after.engine_hits - counters_before.engine_hits,
+            plan_cache_hits: counters_after.plan_cache_hits - counters_before.plan_cache_hits,
+            gallop_steps: counters_after.gallop_steps - counters_before.gallop_steps,
         },
     }
 }

@@ -29,6 +29,7 @@ use crate::broker::{
     DataBroker, IndexFingerprint, IndexGeneration, IndexPolicy, IndexState, PrivateAnswer,
 };
 use crate::error::CoreError;
+use crate::estimator::engine::PlanCache;
 use crate::estimator::RangeCountEstimator;
 use crate::optimizer::{optimize, NetworkShape, PerturbationPlan, SensitivityPolicy};
 use crate::pipeline::PricedAnswer;
@@ -339,6 +340,7 @@ impl Estimate {
         let sample_estimate = match &broker.index {
             IndexState::Ready(_, index) => {
                 broker.counters.indexed_estimates += 1;
+                broker.counters.engine_hits += 1;
                 index.estimate(self.query)
             }
             _ => broker
@@ -503,9 +505,18 @@ pub(crate) fn plan_with_retry<E: RangeCountEstimator, N: Network>(
     }
 }
 
-/// Solves problem (3) at the currently achieved sampling probability.
+/// Solves problem (3) at the currently achieved sampling probability,
+/// memoizing the grid sweep in the broker's plan cache.
+///
+/// The cache key is the fingerprint of `(α, δ, p)`; everything else the
+/// optimizer reads — the network shape and the achieved rate — is a
+/// function of the station, so the cache synchronizes on the station's
+/// revision stamp (the same stamp the index cache invalidates on) and a
+/// stale epoch can never serve a plan. Budget state never enters the
+/// sweep (holds are placed *after* planning), so no budget-side
+/// invalidation is needed; config swaps clear the cache at the setter.
 fn plan<E: RangeCountEstimator, N: Network>(
-    broker: &DataBroker<E, N>,
+    broker: &mut DataBroker<E, N>,
     accuracy: Accuracy,
 ) -> Result<PerturbationPlan, CoreError> {
     let station = broker.network.station();
@@ -513,8 +524,16 @@ fn plan<E: RangeCountEstimator, N: Network>(
     if p <= 0.0 {
         return Err(CoreError::NoSamples);
     }
+    let revision = station.revision();
+    let key = PlanCache::fingerprint(accuracy, p);
+    if let Some(plan) = broker.plan_cache.lookup(revision, key) {
+        broker.counters.plan_cache_hits += 1;
+        return Ok(plan);
+    }
     let shape = NetworkShape::from_station(station)?;
-    optimize(accuracy, p, shape, &broker.optimizer_config)
+    let plan = optimize(accuracy, p, shape, &broker.optimizer_config)?;
+    broker.plan_cache.insert(revision, key, plan);
+    Ok(plan)
 }
 
 /// Makes the index slot reflect the station's *current* state, about to

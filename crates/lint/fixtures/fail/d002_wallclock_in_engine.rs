@@ -1,0 +1,7 @@
+// prc-lint-fixture: path = crates/core/src/estimator/engine/sweep.rs
+//! A wall-clock read inside the batched query engine: D002. The sweep's
+//! resolved positions must be a pure function of (values, queries).
+
+pub fn resolve_deadline() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,8 @@
+// prc-lint-fixture: path = crates/core/src/estimator/engine/sweep.rs
+//! The engine sweep as it must be written: boundary resolution is a
+//! pure function of the sorted values and the query batch — no clock,
+//! no randomness — so every driver resolves identical positions.
+
+pub fn advance(values: &[f64], start: usize, x: f64) -> usize {
+    start + values[start..].partition_point(|&v| v < x)
+}

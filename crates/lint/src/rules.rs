@@ -600,6 +600,34 @@ mod tests {
     }
 
     #[test]
+    fn query_engine_is_a_deterministic_path() {
+        // The engine owns boundary resolution for every estimator path;
+        // a clock read or unordered map there would let resolved
+        // positions drift between runs and break the bit-identity
+        // contract the batched sweep is proven against.
+        for file in ["mod.rs", "sweep.rs", "eytzinger.rs", "plan_cache.rs"] {
+            let path = format!("crates/core/src/estimator/engine/{file}");
+            assert!(scope::is_deterministic_path(&path), "{path}");
+        }
+        let clock = "fn f() { let t = std::time::Instant::now(); }\n";
+        assert_eq!(
+            rules_of(&lint_source(
+                "crates/core/src/estimator/engine/sweep.rs",
+                clock
+            )),
+            vec!["D002"]
+        );
+        let hash = "use std::collections::HashMap;\n";
+        assert_eq!(
+            rules_of(&lint_source(
+                "crates/core/src/estimator/engine/plan_cache.rs",
+                hash
+            )),
+            vec!["D001"]
+        );
+    }
+
+    #[test]
     fn sibling_directories_cannot_spoof_scopes() {
         // Component-wise comparison: `crates/core2` / `crates/dp2` /
         // `crates/bench2` are ordinary paths, not scope members.

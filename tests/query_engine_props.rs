@@ -1,0 +1,310 @@
+//! Property-based tests for the batched query engine.
+//!
+//! The engine's contract is *bit-identity*: the Eytzinger descent, the
+//! sorted-batch sweep, and the plain two-`partition_point` baseline must
+//! resolve exactly the same boundary indices on any sorted array — so
+//! every downstream `(ΣA, ΣB)` aggregate, and therefore every released
+//! answer, is independent of which resolver ran and of how a driver
+//! chunked the batch across workers. The sweep drives random arrays
+//! (duplicate-heavy, empty, all-equal), chunk widths standing in for
+//! worker counts 1..=8, segmented indexes through 1..=5 delta rounds,
+//! and the three network drivers against each other.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+use prc::core::estimator::engine::{boundary_ranks, resolve_batch, EytzingerSearcher};
+use prc::net::base_station::BaseStation;
+use prc::prelude::*;
+
+/// Builds a collected network from per-node value lists (sorted per
+/// node, since rank order is value order) and returns its station.
+fn collected_station(mut partitions: Vec<Vec<f64>>, seed: u64, p: f64) -> BaseStation {
+    for node in &mut partitions {
+        node.sort_by(f64::total_cmp);
+    }
+    let mut network = FlatNetwork::from_partitions(partitions, seed);
+    network.collect_samples(p);
+    network.station().clone()
+}
+
+/// Quantizes raw values into a narrow grid so duplicates are common.
+fn quantize(raw: &[f64], buckets: f64) -> Vec<f64> {
+    raw.iter().map(|v| (v * buckets).floor()).collect()
+}
+
+/// Query batch probing below, inside, across, and above the support,
+/// built from consecutive pairs of a flat bound list: each pair yields
+/// the spanning range plus a point query pinned to the integer grid
+/// (where quantized values live, so boundaries land *on* duplicates).
+fn queries_from(bounds: &[f64]) -> Vec<RangeQuery> {
+    bounds
+        .chunks_exact(2)
+        .flat_map(|pair| {
+            let (lower, upper) = (pair[0].min(pair[1]), pair[0].max(pair[1]));
+            let pivot = lower.floor();
+            [
+                RangeQuery::new(lower, upper).expect("ordered bounds"),
+                RangeQuery::new(pivot, pivot).expect("point query"),
+            ]
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The Eytzinger descent returns exactly `partition_point`'s indices
+    /// on any sorted array — duplicate-heavy, empty, or all-equal — for
+    /// probes on, between, below, and above the stored values.
+    #[test]
+    fn eytzinger_matches_partition_point(
+        raw in proptest::collection::vec(-1.0f64..1.0, 0..200),
+        buckets in 1.0f64..24.0,
+        probes in proptest::collection::vec(-30.0f64..30.0, 1..40),
+    ) {
+        let mut values = quantize(&raw, buckets);
+        values.sort_by(f64::total_cmp);
+        let searcher = EytzingerSearcher::from_sorted(&values);
+        prop_assert_eq!(searcher.len(), values.len());
+        for &x in &probes {
+            prop_assert_eq!(
+                searcher.lower_bound(x),
+                values.partition_point(|&v| v < x),
+                "lower_bound({}) over {} values", x, values.len()
+            );
+            prop_assert_eq!(
+                searcher.upper_bound(x),
+                values.partition_point(|&v| v <= x),
+                "upper_bound({}) over {} values", x, values.len()
+            );
+        }
+    }
+
+    /// An all-equal array is the degenerate worst case for both the
+    /// descent (every comparison ties) and the gallop (one run): both
+    /// still land on the exact partition points.
+    #[test]
+    fn all_equal_arrays_resolve_exactly(
+        value in -5.0f64..5.0,
+        len in 0usize..120,
+        bounds in proptest::collection::vec(-10.0f64..10.0, 2..24),
+    ) {
+        let values = vec![value; len];
+        let searcher = EytzingerSearcher::from_sorted(&values);
+        let queries = queries_from(&bounds);
+        let resolved = resolve_batch(&values, &queries);
+        for (i, &query) in queries.iter().enumerate() {
+            let (pos_l, pos_u) = boundary_ranks(&values, query);
+            prop_assert_eq!(searcher.boundary_ranks(query), (pos_l, pos_u));
+            prop_assert_eq!((resolved.pos_l[i], resolved.pos_u[i]), (pos_l, pos_u));
+        }
+    }
+
+    /// The sorted-batch sweep scatters exactly the baseline's indices
+    /// back into submission order, and chunking the batch (how a driver
+    /// splits it across 1..=8 workers) never changes a single position.
+    #[test]
+    fn sweep_is_baseline_exact_and_chunk_invariant(
+        raw in proptest::collection::vec(-1.0f64..1.0, 0..160),
+        buckets in 1.0f64..16.0,
+        bounds in proptest::collection::vec(-20.0f64..20.0, 2..64),
+    ) {
+        let mut values = quantize(&raw, buckets);
+        values.sort_by(f64::total_cmp);
+        let queries = queries_from(&bounds);
+
+        let whole = resolve_batch(&values, &queries);
+        for (i, &query) in queries.iter().enumerate() {
+            let (pos_l, pos_u) = boundary_ranks(&values, query);
+            prop_assert_eq!(
+                (whole.pos_l[i], whole.pos_u[i]),
+                (pos_l, pos_u),
+                "query {} of {}", i, queries.len()
+            );
+        }
+
+        for workers in 1usize..=8 {
+            let chunk_len = queries.len().div_ceil(workers);
+            let mut pos_l = Vec::new();
+            let mut pos_u = Vec::new();
+            for chunk in queries.chunks(chunk_len) {
+                let part = resolve_batch(&values, chunk);
+                pos_l.extend(part.pos_l);
+                pos_u.extend(part.pos_u);
+            }
+            prop_assert_eq!(&pos_l, &whole.pos_l, "{} workers", workers);
+            prop_assert_eq!(&pos_u, &whole.pos_u, "{} workers", workers);
+        }
+    }
+
+    /// On a collected station, every engine path through the monolithic
+    /// index — Eytzinger single queries, the batch sweep, the
+    /// `partition_point` baseline — and the raw per-node scan release
+    /// identical bits.
+    #[test]
+    fn rank_index_engine_paths_are_bit_identical(
+        seed in 0u64..1_000,
+        p in 0.05f64..1.0,
+        sizes in proptest::collection::vec(0usize..40, 1..10),
+        bounds in proptest::collection::vec(-20.0f64..120.0, 2..48),
+    ) {
+        let partitions: Vec<Vec<f64>> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (0..s).map(|j| ((i * 13 + j * 7) % 97) as f64).collect())
+            .collect();
+        let station = collected_station(partitions, seed, p);
+        prop_assume!(station.total_population() > 0);
+        let index = RankIndex::build(&station).expect("uniform station");
+        let queries = queries_from(&bounds);
+
+        let batch = index.estimate_batch(&queries);
+        prop_assert_eq!(batch.estimates.len(), queries.len());
+        for (i, &query) in queries.iter().enumerate() {
+            let eytzinger = index.estimate(query);
+            let baseline = index.estimate_baseline(query);
+            let scanned = RankCounting.estimate(&station, query);
+            prop_assert_eq!(
+                eytzinger.to_bits(), baseline.to_bits(),
+                "descent {} vs baseline {}", eytzinger, baseline
+            );
+            prop_assert_eq!(
+                batch.estimates[i].to_bits(), baseline.to_bits(),
+                "batch {} vs baseline {}", batch.estimates[i], baseline
+            );
+            prop_assert_eq!(eytzinger.to_bits(), scanned.to_bits());
+        }
+    }
+}
+
+/// Absorbs `rounds` incremental top-ups into a segmented index so its
+/// layout spans multiple segments, checking every engine path against
+/// the baseline after each round. Returns the segment count reached.
+fn run_segmented_rounds(
+    seed: u64,
+    rounds: usize,
+    queries: &[RangeQuery],
+) -> Result<usize, TestCaseError> {
+    let partitions: Vec<Vec<f64>> = (0..6)
+        .map(|i| (0..30).map(|j| ((i * 30 + j) / 2) as f64).collect())
+        .collect();
+    let mut net = FlatNetwork::from_partitions(partitions, seed);
+    let mut target = 0.2;
+    net.collect_samples(target);
+    let mut index = SegmentedRankIndex::build(net.station()).expect("uniform station");
+
+    for round in 0..=rounds {
+        if round > 0 {
+            target = (target + 0.12).min(0.95);
+            let delta = net.collect_delta(target);
+            prop_assert!(
+                index.absorb_delta(net.station(), &delta.changed).is_some(),
+                "top-ups keep the station uniform"
+            );
+        }
+        let fresh = RankIndex::build(net.station()).expect("uniform station");
+        let batch = index.estimate_batch(queries);
+        for (i, &query) in queries.iter().enumerate() {
+            let baseline = index.estimate_baseline(query);
+            prop_assert_eq!(index.estimate(query).to_bits(), baseline.to_bits());
+            prop_assert_eq!(batch.estimates[i].to_bits(), baseline.to_bits());
+            prop_assert_eq!(baseline.to_bits(), fresh.estimate(query).to_bits());
+        }
+    }
+    Ok(index.segments())
+}
+
+proptest! {
+    // Each case replays several collection rounds with a monolithic
+    // rebuild per round; keep the case count moderate.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A segmented index carried through 0..=4 delta rounds (so 1..=5
+    /// segments before compaction) answers every engine path — descent,
+    /// batch sweep, baseline — bit-identically to a fresh monolithic
+    /// rebuild after every round.
+    #[test]
+    fn segmented_engine_paths_survive_delta_rounds(
+        seed in 0u64..1_000,
+        rounds in 0usize..=4,
+        bounds in proptest::collection::vec(-10.0f64..100.0, 2..24),
+    ) {
+        let queries = queries_from(&bounds);
+        let segments = run_segmented_rounds(seed, rounds, &queries)?;
+        prop_assert!(segments >= 1);
+    }
+
+    /// End to end across drivers: flat, threaded, and tree brokers
+    /// forced onto the indexed batch path release identical bits — and
+    /// identical bits to a scan-forced flat broker — while the engine
+    /// and plan-cache counters confirm which path ran.
+    #[test]
+    fn drivers_release_identical_batch_bits(
+        seed in 0u64..1_000,
+        bounds in proptest::collection::vec(0.0f64..4_000.0, 2..10),
+    ) {
+        let partitions: Vec<Vec<f64>> = (0..6)
+            .map(|i| (0..700).map(|j| (i * 700 + j) as f64).collect())
+            .collect();
+        let workload: Vec<QueryRequest> = bounds
+            .chunks_exact(2)
+            .map(|pair| {
+                let (a, b) = (pair[0], pair[1]);
+                QueryRequest::new(
+                    RangeQuery::new(a.min(b), a.max(b)).unwrap(),
+                    Accuracy::new(0.15, 0.5).unwrap(),
+                )
+            })
+            .collect();
+
+        let released_bits = |report: &BatchReport| -> Vec<u64> {
+            report
+                .answers
+                .iter()
+                .map(|a| a.as_ref().expect("batch member released").value.to_bits())
+                .collect()
+        };
+
+        let mut broker =
+            DataBroker::new(FlatNetwork::from_partitions(partitions.clone(), seed), seed);
+        broker.set_index_threshold(0);
+        let flat = broker.answer_batch(&workload);
+
+        let mut broker = DataBroker::new(
+            ThreadedNetwork::from_partitions(partitions.clone(), seed),
+            seed,
+        );
+        broker.set_index_threshold(0);
+        let threaded = broker.answer_batch(&workload);
+
+        let mut broker =
+            DataBroker::new(TreeNetwork::from_partitions(partitions.clone(), 2, seed), seed);
+        broker.set_index_threshold(0);
+        let tree = broker.answer_batch(&workload);
+
+        let mut broker = DataBroker::new(FlatNetwork::from_partitions(partitions, seed), seed);
+        broker.set_index_threshold(usize::MAX);
+        let scanned = broker.answer_batch(&workload);
+
+        let flat_bits = released_bits(&flat);
+        prop_assert_eq!(&flat_bits, &released_bits(&threaded), "flat vs threaded");
+        prop_assert_eq!(&flat_bits, &released_bits(&tree), "flat vs tree");
+        prop_assert_eq!(&flat_bits, &released_bits(&scanned), "indexed vs scanned");
+
+        // The indexed runs went through the engine; the scan run did not.
+        prop_assert_eq!(flat.stats.engine_hits, workload.len() as u64);
+        prop_assert_eq!(scanned.stats.engine_hits, 0);
+        prop_assert_eq!(scanned.stats.gallop_steps, 0);
+        // All members share one accuracy target and one rate tier, so
+        // after the first grid sweep the remaining plans are memo hits
+        // (exact count left open: an infeasibility retry re-sweeps).
+        if workload.len() >= 2 {
+            prop_assert!(
+                flat.stats.plan_cache_hits >= 1,
+                "no plan-cache hit across {} same-accuracy members",
+                workload.len()
+            );
+        }
+    }
+}
