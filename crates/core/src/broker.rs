@@ -160,9 +160,11 @@ pub struct StageCounters {
     /// station revision.
     #[serde(default)]
     pub plan_cache_hits: u64,
-    /// Forward probes the sorted-batch sweep galloped through.
-    /// Diagnostic work meter: depends on how batches are chunked across
-    /// the fan-out (like `fan_out_threads`), never on released answers.
+    /// Forward-advance steps the sorted-batch sweep took: gallop
+    /// doublings when probes are sparse, cache-line strides in dense
+    /// merge-scan mode. Diagnostic work meter: depends on how batches
+    /// are chunked across the fan-out (like `fan_out_threads`), never
+    /// on released answers.
     #[serde(default)]
     pub gallop_steps: u64,
     /// Priced transactions settled into the pricing engine's ledger.
@@ -199,7 +201,8 @@ pub struct BatchStats {
     /// Grid sweeps this batch skipped via the optimizer plan cache.
     #[serde(default)]
     pub plan_cache_hits: u64,
-    /// Gallop probes the batch's sorted sweeps took (diagnostic; varies
+    /// Forward-advance steps the batch's sorted sweeps took — gallop
+    /// doublings or dense-mode cache-line strides (diagnostic; varies
     /// with fan-out width).
     #[serde(default)]
     pub gallop_steps: u64,

@@ -26,20 +26,22 @@ pub struct EytzingerSearcher {
     /// Keys in BFS order; slot 0 is a never-read pivot pad so the
     /// children of slot `k` sit at `2k` and `2k + 1`.
     keys: Vec<f64>,
-    /// Each BFS slot's position in the original sorted slice.
-    positions: Vec<usize>,
+    /// Each BFS slot's position in the original sorted slice. `u32`
+    /// keeps the sidecar at half a key's width — segments stay far
+    /// below `2^32` entries (asserted at build).
+    positions: Vec<u32>,
     /// Number of searchable keys (`keys.len() - 1`).
     len: usize,
 }
 
 /// In-order walk over the BFS slot tree, assigning sorted positions.
-fn fill(sorted: &[f64], keys: &mut [f64], positions: &mut [usize], slot: usize, next: &mut usize) {
+fn fill(sorted: &[f64], keys: &mut [f64], positions: &mut [u32], slot: usize, next: &mut usize) {
     if slot > sorted.len() {
         return;
     }
     fill(sorted, keys, positions, 2 * slot, next);
     keys[slot] = sorted[*next];
-    positions[slot] = *next;
+    positions[slot] = *next as u32;
     *next += 1;
     fill(sorted, keys, positions, 2 * slot + 1, next);
 }
@@ -49,8 +51,9 @@ impl EytzingerSearcher {
     /// space; the in-order walk recurses to the tree height, `O(log n)`).
     pub fn from_sorted(sorted: &[f64]) -> EytzingerSearcher {
         let n = sorted.len();
+        assert!(n <= u32::MAX as usize, "segment exceeds u32 position range");
         let mut keys = vec![0.0f64; n + 1];
-        let mut positions = vec![0usize; n + 1];
+        let mut positions = vec![0u32; n + 1];
         let mut next = 0usize;
         fill(sorted, &mut keys, &mut positions, 1, &mut next);
         EytzingerSearcher {
@@ -86,7 +89,7 @@ impl EytzingerSearcher {
         if k == 0 {
             self.len
         } else {
-            self.positions[k]
+            self.positions[k] as usize
         }
     }
 
@@ -120,7 +123,7 @@ mod tests {
     /// Probes around every value: the value itself, just below, just
     /// above, and far outside the support on both sides.
     fn probes(sorted: &[f64]) -> Vec<f64> {
-        let mut probes = vec![-1e9, 1e9, 0.0];
+        let mut probes = vec![-1e9, 1e9, 0.0, -0.0];
         for &v in sorted {
             probes.extend([v, v - 0.5, v + 0.5]);
         }

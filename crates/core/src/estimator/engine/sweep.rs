@@ -12,7 +12,8 @@
 //! `O(q log q + min(S/8 + q, q log(S/q)))` with near-sequential access.
 //!
 //! Determinism: the probe order is an **index-stable total order** —
-//! `(value, kind, submission slot)` with `f64::total_cmp` — so equal
+//! `(value, kind, submission slot)` with `f64::total_cmp` over values,
+//! except that signed zeros are collapsed to `+0.0` — so equal
 //! boundaries resolve in submission order and the sort (and therefore
 //! the sweep) is a pure function of the batch, independent of sort
 //! implementation details, chunking, or thread count. Each probe's
@@ -23,11 +24,13 @@
 //!
 //! Each probe is packed into one `u128` key — the value's bits mapped
 //! into the order-preserving integer form of IEEE-754 total ordering
-//! (exactly `f64::total_cmp`), then the kind bit, then the submission
-//! slot — so the index-stable order above is plain unsigned comparison
-//! and the sort runs branchless over integers instead of through a
-//! three-way float comparator (measured ~4× cheaper on 8k probes, and
-//! the sort is the resolver's dominant cost).
+//! (`f64::total_cmp` with `-0.0` normalized to `+0.0`, since the
+//! resolution predicates cannot tell the zeros apart — see
+//! [`orderable_bits`]), then the kind bit, then the submission slot —
+//! so the index-stable order above is plain unsigned comparison and the
+//! sort runs branchless over integers instead of through a three-way
+//! float comparator (measured ~4× cheaper on 8k probes, and the sort is
+//! the resolver's dominant cost).
 
 use crate::query::RangeQuery;
 
@@ -35,10 +38,19 @@ use crate::query::RangeQuery;
 const SIGN: u64 = 1 << 63;
 
 /// Maps `f64` bits to an unsigned integer whose `<` order is exactly
-/// `f64::total_cmp`: negative values flip entirely (descending bit
-/// patterns become ascending), non-negative values set the sign bit to
-/// sort above every negative.
+/// `f64::total_cmp` *over the values a probe can distinguish*: negative
+/// values flip entirely (descending bit patterns become ascending),
+/// non-negative values set the sign bit to sort above every negative.
+///
+/// Signed zero is normalized to `+0.0` first. `total_cmp` orders
+/// `-0.0 < +0.0`, but the resolution predicates compare numerically,
+/// where the two are equal — an upper probe at `-0.0` resolves *past* a
+/// lower probe at `+0.0`, and sorting it earlier would strand the
+/// forward-only cursor beyond the later probe's position. Collapsing
+/// the zeros makes sort order agree with resolution order; ties then
+/// break deterministically on the kind and slot bits.
 fn orderable_bits(value: f64) -> u64 {
+    let value = if value == 0.0 { 0.0 } else { value };
     let bits = value.to_bits();
     if bits & SIGN != 0 {
         !bits
@@ -47,8 +59,10 @@ fn orderable_bits(value: f64) -> u64 {
     }
 }
 
-/// Inverse of [`orderable_bits`] — bit-exact, so the predicate a probe
-/// evaluates is the same `f64` comparison the baseline would run.
+/// Inverse of [`orderable_bits`] — bit-exact except for a `-0.0` input,
+/// which round-trips to the normalized `+0.0`. Either way the predicate
+/// a probe evaluates is the same numeric `f64` comparison the baseline
+/// would run (`-0.0 == +0.0` under `<` / `<=`).
 fn value_of(mapped: u64) -> f64 {
     if mapped & SIGN != 0 {
         f64::from_bits(mapped & !SIGN)
@@ -81,9 +95,11 @@ pub struct ResolvedBoundaries {
     pub pos_l: Vec<usize>,
     /// `pos_u[i] = values.partition_point(|&v| v <= queries[i].upper())`.
     pub pos_u: Vec<usize>,
-    /// Forward probes the gallop took before each window's binary
-    /// search — the engine's work meter (diagnostic: depends on how a
-    /// driver chunks the batch, never on the resolved positions).
+    /// Forward-advance steps the sweep took: gallop doublings before
+    /// each window's binary search in sparse mode, cache-line strides
+    /// in dense merge-scan mode — the engine's work meter (diagnostic:
+    /// depends on how a driver chunks the batch, never on the resolved
+    /// positions).
     pub gallop_steps: u64,
 }
 
@@ -246,6 +262,36 @@ mod tests {
         assert_matches_baseline(&values, &queries);
         assert_matches_baseline(&[], &queries);
         assert_matches_baseline(&values, &[]);
+    }
+
+    /// Signed-zero bounds over zero-valued samples: `-0.0` and `+0.0`
+    /// are distinct under `total_cmp` but equal under the resolution
+    /// predicates, so probe keys must collapse them — otherwise an
+    /// upper probe at `-0.0` sorts before a lower probe at `+0.0` yet
+    /// resolves to a larger position, stranding the forward-only
+    /// cursor. This is the exact regression: `[-1, -0.0]` then
+    /// `[0.0, 1]` over `[0.0]` must give `(0, 1)` for the second query.
+    #[test]
+    fn signed_zero_bounds_match_baseline() {
+        assert_matches_baseline(&[0.0], &[q(-1.0, -0.0), q(0.0, 1.0)]);
+        let values = [-2.0, -0.0, -0.0, 0.0, 0.0, 0.0, 3.0];
+        let zeros = [-0.0, 0.0];
+        let mut queries = Vec::new();
+        for lower in zeros {
+            for upper in zeros {
+                queries.push(q(lower, upper));
+            }
+            queries.push(q(-5.0, lower));
+            queries.push(q(lower, 5.0));
+        }
+        // Interleave non-zero boundaries so the cursor crosses the zero
+        // run from both sides in one sweep.
+        queries.push(q(-2.0, -0.0));
+        queries.push(q(0.0, 3.0));
+        assert_matches_baseline(&values, &queries);
+        // Sparse mode (gallop) must collapse the zeros too.
+        let wide: Vec<f64> = (0..4096).map(|i| i as f64 - 2048.0).collect();
+        assert_matches_baseline(&wide, &[q(-9.0, -0.0), q(0.0, 9.0)]);
     }
 
     #[test]

@@ -54,9 +54,11 @@ pub struct DeltaOutcome {
 pub struct BatchEstimate {
     /// One estimate per submitted query, in submission order.
     pub estimates: Vec<f64>,
-    /// Forward probes the sorted-batch sweep galloped through (`0` on
-    /// the per-query fallback path). Diagnostic: the total depends on
-    /// how the caller chunks the batch, never on the estimates.
+    /// Forward-advance steps the sorted-batch sweep took — gallop
+    /// doublings when probes are sparse, cache-line strides in dense
+    /// merge-scan mode (`0` on the per-query fallback path).
+    /// Diagnostic: the total depends on how the caller chunks the
+    /// batch, never on the estimates.
     pub gallop_steps: u64,
 }
 

@@ -6,9 +6,10 @@
 //! every downstream `(ΣA, ΣB)` aggregate, and therefore every released
 //! answer, is independent of which resolver ran and of how a driver
 //! chunked the batch across workers. The sweep drives random arrays
-//! (duplicate-heavy, empty, all-equal), chunk widths standing in for
-//! worker counts 1..=8, segmented indexes through 1..=5 delta rounds,
-//! and the three network drivers against each other.
+//! (duplicate-heavy, empty, all-equal, zero-valued samples), bounds
+//! including explicit signed zeros, chunk widths standing in for worker
+//! counts 1..=8, segmented indexes through 1..=5 delta rounds, and the
+//! three network drivers against each other.
 
 use proptest::prelude::*;
 use proptest::test_runner::TestCaseError;
@@ -31,6 +32,38 @@ fn collected_station(mut partitions: Vec<Vec<f64>>, seed: u64, p: f64) -> BaseSt
 /// Quantizes raw values into a narrow grid so duplicates are common.
 fn quantize(raw: &[f64], buckets: f64) -> Vec<f64> {
     raw.iter().map(|v| (v * buckets).floor()).collect()
+}
+
+/// A query bound: usually a value from the wrapped range, one time in
+/// five an explicit signed zero. `-0.0` and `+0.0` are distinct under
+/// `total_cmp` but equal under the resolution predicates — the sweep's
+/// probe sort must collapse them (the original keys stranded its
+/// forward-only cursor).
+#[derive(Debug, Clone)]
+struct SignedBound(std::ops::Range<f64>);
+
+impl Strategy for SignedBound {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut proptest::test_runner::TestRng) -> f64 {
+        match rng.next_u64() % 10 {
+            0 => 0.0,
+            1 => -0.0,
+            _ => self.0.generate(rng),
+        }
+    }
+}
+
+fn signed_bound(range: std::ops::Range<f64>) -> SignedBound {
+    SignedBound(range)
+}
+
+/// Appends `zeros` zero-valued samples (alternating sign) so signed-zero
+/// bounds land *on* stored values, then re-sorts by `total_cmp`.
+fn with_zero_samples(mut values: Vec<f64>, zeros: usize) -> Vec<f64> {
+    values.extend((0..zeros).map(|i| if i % 2 == 0 { 0.0 } else { -0.0 }));
+    values.sort_by(f64::total_cmp);
+    values
 }
 
 /// Query batch probing below, inside, across, and above the support,
@@ -61,10 +94,10 @@ proptest! {
     fn eytzinger_matches_partition_point(
         raw in proptest::collection::vec(-1.0f64..1.0, 0..200),
         buckets in 1.0f64..24.0,
-        probes in proptest::collection::vec(-30.0f64..30.0, 1..40),
+        probes in proptest::collection::vec(signed_bound(-30.0f64..30.0), 1..40),
+        zeros in 0usize..5,
     ) {
-        let mut values = quantize(&raw, buckets);
-        values.sort_by(f64::total_cmp);
+        let values = with_zero_samples(quantize(&raw, buckets), zeros);
         let searcher = EytzingerSearcher::from_sorted(&values);
         prop_assert_eq!(searcher.len(), values.len());
         for &x in &probes {
@@ -88,7 +121,7 @@ proptest! {
     fn all_equal_arrays_resolve_exactly(
         value in -5.0f64..5.0,
         len in 0usize..120,
-        bounds in proptest::collection::vec(-10.0f64..10.0, 2..24),
+        bounds in proptest::collection::vec(signed_bound(-10.0f64..10.0), 2..24),
     ) {
         let values = vec![value; len];
         let searcher = EytzingerSearcher::from_sorted(&values);
@@ -108,10 +141,10 @@ proptest! {
     fn sweep_is_baseline_exact_and_chunk_invariant(
         raw in proptest::collection::vec(-1.0f64..1.0, 0..160),
         buckets in 1.0f64..16.0,
-        bounds in proptest::collection::vec(-20.0f64..20.0, 2..64),
+        bounds in proptest::collection::vec(signed_bound(-20.0f64..20.0), 2..64),
+        zeros in 0usize..5,
     ) {
-        let mut values = quantize(&raw, buckets);
-        values.sort_by(f64::total_cmp);
+        let values = with_zero_samples(quantize(&raw, buckets), zeros);
         let queries = queries_from(&bounds);
 
         let whole = resolve_batch(&values, &queries);
